@@ -1,0 +1,79 @@
+// Micro benchmarks for the R-tree substrate: build strategies and query
+// primitives at the paper's data scale.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "index/rtree.h"
+
+namespace mpn {
+namespace {
+
+const std::vector<Point>& Pois(size_t n) {
+  static std::map<size_t, std::vector<Point>> cache;
+  auto& p = cache[n];
+  if (p.empty()) p = bench::MakePoiSet(n, 0xE0);
+  return p;
+}
+
+void BM_BulkLoad(benchmark::State& state) {
+  const auto& pts = Pois(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RTree::BulkLoad(pts));
+  }
+}
+
+void BM_InsertBuild(benchmark::State& state) {
+  const auto& pts = Pois(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    RTree tree;
+    for (size_t i = 0; i < pts.size(); ++i) {
+      tree.Insert(pts[i], static_cast<uint32_t>(i));
+    }
+    benchmark::DoNotOptimize(tree);
+  }
+}
+
+void BM_Knn(benchmark::State& state) {
+  const auto& pts = Pois(21287);
+  static RTree tree = RTree::BulkLoad(pts);
+  Rng rng(0xE1);
+  std::vector<Point> queries;
+  for (int i = 0; i < 128; ++i) {
+    queries.push_back({rng.Uniform(0, 100000), rng.Uniform(0, 100000)});
+  }
+  const size_t k = static_cast<size_t>(state.range(0));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Knn(queries[i++ % queries.size()], k));
+  }
+}
+
+void BM_RangeQuery(benchmark::State& state) {
+  const auto& pts = Pois(21287);
+  static RTree tree = RTree::BulkLoad(pts);
+  Rng rng(0xE2);
+  const double side = static_cast<double>(state.range(0));
+  std::vector<Rect> queries;
+  for (int i = 0; i < 128; ++i) {
+    const Point lo{rng.Uniform(0, 100000 - side),
+                   rng.Uniform(0, 100000 - side)};
+    queries.push_back(Rect(lo, {lo.x + side, lo.y + side}));
+  }
+  size_t i = 0;
+  std::vector<uint32_t> out;
+  for (auto _ : state) {
+    out.clear();
+    tree.RangeQuery(queries[i++ % queries.size()], &out);
+    benchmark::DoNotOptimize(out);
+  }
+}
+
+BENCHMARK(BM_BulkLoad)->Arg(5000)->Arg(21287)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_InsertBuild)->Arg(5000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Knn)->Arg(1)->Arg(10)->Arg(100);
+BENCHMARK(BM_RangeQuery)->Arg(1000)->Arg(10000);
+
+}  // namespace
+}  // namespace mpn
+
+BENCHMARK_MAIN();

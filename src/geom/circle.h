@@ -1,0 +1,46 @@
+// Circles; the shape of the Section-4 safe regions.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/rect.h"
+#include "geom/vec2.h"
+
+namespace mpn {
+
+/// Closed disk of radius `radius` centered at `center`.
+struct Circle {
+  Point center;
+  double radius = 0.0;
+
+  Circle() = default;
+  Circle(const Point& c, double r) : center(c), radius(r) {}
+
+  /// Closed containment test.
+  bool Contains(const Point& p) const {
+    return Dist2(p, center) <= radius * radius;
+  }
+
+  /// ||p, R||_min for the disk (0 when p is inside).
+  double MinDist(const Point& p) const {
+    return std::max(0.0, Dist(p, center) - radius);
+  }
+
+  /// ||p, R||_max for the disk.
+  double MaxDist(const Point& p) const { return Dist(p, center) + radius; }
+
+  /// Tight bounding box.
+  Rect Bounds() const {
+    return Rect({center.x - radius, center.y - radius},
+                {center.x + radius, center.y + radius});
+  }
+
+  /// Largest axis-aligned square inscribed in the disk (side sqrt(2)*r);
+  /// this seeds the tile size in Algorithm 3 (delta = sqrt(2) * rmax).
+  Rect InscribedSquare() const {
+    return Rect::CenteredSquare(center, radius * std::sqrt(2.0));
+  }
+};
+
+}  // namespace mpn

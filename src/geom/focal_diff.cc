@@ -1,0 +1,113 @@
+#include "geom/focal_diff.h"
+
+#include <algorithm>
+
+namespace mpn {
+
+namespace {
+
+// Appends to `out` the parameter interval [t_enter, t_exit] of the segment
+// {a + t*(b-a), t in R} clipped against rect `r`, evaluated as points.
+// Uses the Liang-Barsky slab method over the full line (t unbounded), which
+// yields the entry/exit points of the focal axis through the rectangle.
+void AppendLineRectIntersections(const Point& a, const Point& b, const Rect& r,
+                                 Point out[2], int* n_out) {
+  *n_out = 0;
+  const Vec2 d = b - a;
+  double t_lo = -1e300, t_hi = 1e300;
+  // x-slab
+  if (d.x == 0.0) {
+    if (a.x < r.lo.x || a.x > r.hi.x) return;
+  } else {
+    double t1 = (r.lo.x - a.x) / d.x;
+    double t2 = (r.hi.x - a.x) / d.x;
+    if (t1 > t2) std::swap(t1, t2);
+    t_lo = std::max(t_lo, t1);
+    t_hi = std::min(t_hi, t2);
+  }
+  // y-slab
+  if (d.y == 0.0) {
+    if (a.y < r.lo.y || a.y > r.hi.y) return;
+  } else {
+    double t1 = (r.lo.y - a.y) / d.y;
+    double t2 = (r.hi.y - a.y) / d.y;
+    if (t1 > t2) std::swap(t1, t2);
+    t_lo = std::max(t_lo, t1);
+    t_hi = std::min(t_hi, t2);
+  }
+  if (t_lo > t_hi) return;
+  out[0] = a + d * t_lo;
+  out[1] = a + d * t_hi;
+  *n_out = 2;
+}
+
+}  // namespace
+
+namespace {
+
+// Evaluates the Heron-reflection critical point on a horizontal edge
+// y = c, x in [x0, x1] and folds it into *best.
+void FoldHorizontalEdgeCritical(const Point& p_other, const Point& p_opt,
+                                double c, double x0, double x1,
+                                double* best) {
+  const Point mirrored{p_opt.x, 2.0 * c - p_opt.y};
+  const Vec2 dir = mirrored - p_other;
+  if (dir.y == 0.0) return;  // parallel (or the edge lies on the axis)
+  const double t = (c - p_other.y) / dir.y;
+  const double x = p_other.x + t * dir.x;
+  if (x >= x0 && x <= x1) {
+    *best = std::min(*best, FocalDiff(p_other, p_opt, {x, c}));
+  }
+}
+
+// Same for a vertical edge x = c, y in [y0, y1].
+void FoldVerticalEdgeCritical(const Point& p_other, const Point& p_opt,
+                              double c, double y0, double y1, double* best) {
+  const Point mirrored{2.0 * c - p_opt.x, p_opt.y};
+  const Vec2 dir = mirrored - p_other;
+  if (dir.x == 0.0) return;
+  const double t = (c - p_other.x) / dir.x;
+  const double y = p_other.y + t * dir.y;
+  if (y >= y0 && y <= y1) {
+    *best = std::min(*best, FocalDiff(p_other, p_opt, {c, y}));
+  }
+}
+
+}  // namespace
+
+double MinFocalDiffOverRect(const Point& p_other, const Point& p_opt,
+                            const Rect& r) {
+  if (r.IsEmpty()) return 0.0;
+  if (p_other == p_opt) return 0.0;
+  // (a) corners.
+  double best = FocalDiff(p_other, p_opt, r.Corner(0));
+  for (int i = 1; i < 4; ++i) {
+    best = std::min(best, FocalDiff(p_other, p_opt, r.Corner(i)));
+  }
+  // (b) focal-axis crossings; also covers p_other inside the rectangle
+  // (the global minimum -||p',po|| lies on the axis ray behind p').
+  Point axis_pts[2];
+  int n = 0;
+  AppendLineRectIntersections(p_other, p_opt, r, axis_pts, &n);
+  for (int i = 0; i < n; ++i) {
+    // Clamp for numerical safety: the intersection should already be on the
+    // boundary, but slab arithmetic can land epsilon outside.
+    Point q = axis_pts[i];
+    q.x = std::clamp(q.x, r.lo.x, r.hi.x);
+    q.y = std::clamp(q.y, r.lo.y, r.hi.y);
+    best = std::min(best, FocalDiff(p_other, p_opt, q));
+  }
+  // (c) edge-interior tangency critical points (Heron reflection).
+  FoldHorizontalEdgeCritical(p_other, p_opt, r.lo.y, r.lo.x, r.hi.x, &best);
+  FoldHorizontalEdgeCritical(p_other, p_opt, r.hi.y, r.lo.x, r.hi.x, &best);
+  FoldVerticalEdgeCritical(p_other, p_opt, r.lo.x, r.lo.y, r.hi.y, &best);
+  FoldVerticalEdgeCritical(p_other, p_opt, r.hi.x, r.lo.y, r.hi.y, &best);
+  return best;
+}
+
+double MaxFocalDiffUpperBound(const Point& p_other, const Point& p_opt,
+                              const Rect& r) {
+  return r.MaxDist(p_other) - r.MinDist(p_opt);
+}
+
+}  // namespace mpn

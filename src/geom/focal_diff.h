@@ -1,0 +1,44 @@
+// Exact minimization of the focal difference g(l) = ||p',l|| - ||po,l||
+// over an axis-aligned rectangle (Section 6.3.1, Fig. 12).
+//
+// The level sets of g are confocal hyperbola branches with foci p' and po.
+// The minimum over a closed rectangle is attained either
+//   (a) at a corner,
+//   (b) where the boundary crosses the focal axis (the line p'po) — on the
+//       axis g is piecewise linear with global minimum -||p',po|| on the
+//       ray behind p'; interior critical points of g also lie there, or
+//   (c) at an edge-interior critical point, where the edge is tangent to a
+//       level curve. The hyperbola tangent bisects the focal angle, so at
+//       such a point the directions l->p' and l->po make equal, opposite
+//       angles with the edge; equivalently l is the intersection of the
+//       edge with the line through p' and the mirror image of po across the
+//       edge's supporting line (the Heron reflection construction).
+// Evaluating g at this finite candidate set yields the exact minimum.
+#pragma once
+
+#include "geom/rect.h"
+#include "geom/vec2.h"
+
+namespace mpn {
+
+/// Focal difference g(l) = ||p_other, l|| - ||p_opt, l||.
+inline double FocalDiff(const Point& p_other, const Point& p_opt,
+                        const Point& l) {
+  return Dist(p_other, l) - Dist(p_opt, l);
+}
+
+/// Exact minimum of g over the closed rectangle `r`.
+///
+/// Evaluates g at the four corners and at every intersection of the
+/// rectangle boundary with the line through the foci. Degenerate case
+/// p_other == p_opt returns 0.
+double MinFocalDiffOverRect(const Point& p_other, const Point& p_opt,
+                            const Rect& r);
+
+/// Conservative (never smaller than the true value) maximum of g over `r`:
+/// max_l ||p_other,l|| - min_l ||po,l|| evaluated via rectangle distance
+/// bounds. Used only for pruning, where an upper bound suffices.
+double MaxFocalDiffUpperBound(const Point& p_other, const Point& p_opt,
+                              const Rect& r);
+
+}  // namespace mpn

@@ -1,0 +1,14 @@
+#include "geom/rect.h"
+
+#include <cstdio>
+
+namespace mpn {
+
+std::string Rect::ToString() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "[%.6g,%.6g]x[%.6g,%.6g]", lo.x, hi.x, lo.y,
+                hi.y);
+  return buf;
+}
+
+}  // namespace mpn

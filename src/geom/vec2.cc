@@ -1,0 +1,26 @@
+#include "geom/vec2.h"
+
+#include <cstdio>
+
+namespace mpn {
+
+std::string Vec2::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "(%.6g, %.6g)", x, y);
+  return buf;
+}
+
+double NormalizeAngle(double radians) {
+  constexpr double kPi = 3.141592653589793238462643383279502884;
+  constexpr double kTwoPi = 2.0 * kPi;
+  while (radians > kPi) radians -= kTwoPi;
+  while (radians <= -kPi) radians += kTwoPi;
+  return radians;
+}
+
+double AngleDiff(double a, double b) {
+  const double d = NormalizeAngle(a - b);
+  return d < 0.0 ? -d : d;
+}
+
+}  // namespace mpn

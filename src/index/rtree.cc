@@ -1,0 +1,417 @@
+#include "index/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <queue>
+
+namespace mpn {
+
+RTree::RTree(RTreeOptions options) : options_(options) {
+  MPN_ASSERT(options_.max_entries >= 4);
+  MPN_ASSERT(options_.min_entries >= 2);
+  MPN_ASSERT(options_.min_entries <= options_.max_entries / 2);
+}
+
+Rect RTree::bounds() const {
+  return root_ < 0 ? Rect::Empty() : NodeMbr(root_);
+}
+
+int RTree::Height() const {
+  if (root_ < 0) return 0;
+  int h = 1;
+  int32_t n = root_;
+  while (!nodes_[n].is_leaf) {
+    n = nodes_[n].children.front();
+    ++h;
+  }
+  return h;
+}
+
+Rect RTree::NodeMbr(int32_t idx) const {
+  const Node& node = nodes_[idx];
+  Rect mbr = Rect::Empty();
+  if (node.is_leaf) {
+    for (const Point& p : node.points) mbr.ExpandToInclude(p);
+  } else {
+    for (const Rect& r : node.child_mbrs) mbr.ExpandToInclude(r);
+  }
+  return mbr;
+}
+
+int32_t RTree::ChooseLeaf(const Point& p) const {
+  int32_t idx = root_;
+  while (!nodes_[idx].is_leaf) {
+    const Node& node = nodes_[idx];
+    // Least area enlargement; ties by smaller area, then by child order.
+    double best_enlarge = 0.0, best_area = 0.0;
+    int32_t best = -1;
+    for (size_t i = 0; i < node.children.size(); ++i) {
+      const Rect& r = node.child_mbrs[i];
+      Rect grown = r;
+      grown.ExpandToInclude(p);
+      const double enlarge = grown.Area() - r.Area();
+      const double area = r.Area();
+      if (best < 0 || enlarge < best_enlarge ||
+          (enlarge == best_enlarge && area < best_area)) {
+        best = node.children[i];
+        best_enlarge = enlarge;
+        best_area = area;
+      }
+    }
+    idx = best;
+  }
+  return idx;
+}
+
+void RTree::Insert(const Point& p, uint32_t id) {
+  if (root_ < 0) {
+    nodes_.push_back(Node{});
+    root_ = 0;
+  }
+  const int32_t leaf = ChooseLeaf(p);
+  nodes_[leaf].points.push_back(p);
+  nodes_[leaf].ids.push_back(id);
+  ++size_;
+  AdjustUpward(leaf);
+}
+
+void RTree::AdjustUpward(int32_t idx) {
+  while (idx >= 0) {
+    const int32_t parent = nodes_[idx].parent;
+    if (nodes_[idx].EntryCount() > options_.max_entries) {
+      SplitNode(idx);
+    } else if (parent >= 0) {
+      // Refresh this node's MBR in the parent.
+      Node& pnode = nodes_[parent];
+      for (size_t i = 0; i < pnode.children.size(); ++i) {
+        if (pnode.children[i] == idx) {
+          pnode.child_mbrs[i] = NodeMbr(idx);
+          break;
+        }
+      }
+    }
+    idx = parent;
+  }
+}
+
+std::vector<int> RTree::QuadraticPartition(
+    const std::vector<Rect>& entry_mbrs) const {
+  const size_t n = entry_mbrs.size();
+  std::vector<int> group(n, -1);
+  // Pick seeds: pair with the largest dead area.
+  size_t seed_a = 0, seed_b = 1;
+  double worst = -1.0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const double dead = Rect::Union(entry_mbrs[i], entry_mbrs[j]).Area() -
+                          entry_mbrs[i].Area() - entry_mbrs[j].Area();
+      if (dead > worst) {
+        worst = dead;
+        seed_a = i;
+        seed_b = j;
+      }
+    }
+  }
+  group[seed_a] = 0;
+  group[seed_b] = 1;
+  Rect mbr[2] = {entry_mbrs[seed_a], entry_mbrs[seed_b]};
+  size_t count[2] = {1, 1};
+  size_t remaining = n - 2;
+  while (remaining > 0) {
+    // Force-assign when one group must absorb the rest to meet min_entries.
+    for (int g = 0; g < 2; ++g) {
+      if (count[g] + remaining == options_.min_entries) {
+        for (size_t i = 0; i < n; ++i) {
+          if (group[i] < 0) {
+            group[i] = g;
+            mbr[g].ExpandToInclude(entry_mbrs[i]);
+            ++count[g];
+          }
+        }
+        remaining = 0;
+      }
+    }
+    if (remaining == 0) break;
+    // PickNext: entry with the greatest preference difference.
+    size_t pick = n;
+    double best_diff = -1.0;
+    double d_pick[2] = {0.0, 0.0};
+    for (size_t i = 0; i < n; ++i) {
+      if (group[i] >= 0) continue;
+      double d[2];
+      for (int g = 0; g < 2; ++g) {
+        d[g] = Rect::Union(mbr[g], entry_mbrs[i]).Area() - mbr[g].Area();
+      }
+      const double diff = std::abs(d[0] - d[1]);
+      if (diff > best_diff) {
+        best_diff = diff;
+        pick = i;
+        d_pick[0] = d[0];
+        d_pick[1] = d[1];
+      }
+    }
+    MPN_ASSERT(pick < n);
+    int g = d_pick[0] < d_pick[1] ? 0 : 1;
+    if (d_pick[0] == d_pick[1]) g = mbr[0].Area() <= mbr[1].Area() ? 0 : 1;
+    group[pick] = g;
+    mbr[g].ExpandToInclude(entry_mbrs[pick]);
+    ++count[g];
+    --remaining;
+  }
+  return group;
+}
+
+void RTree::SplitNode(int32_t idx) {
+  // Gather entry MBRs.
+  std::vector<Rect> entry_mbrs;
+  const bool is_leaf = nodes_[idx].is_leaf;
+  if (is_leaf) {
+    for (const Point& p : nodes_[idx].points) {
+      entry_mbrs.push_back(Rect::FromPoint(p));
+    }
+  } else {
+    entry_mbrs = nodes_[idx].child_mbrs;
+  }
+  const std::vector<int> group = QuadraticPartition(entry_mbrs);
+
+  // Create the sibling; move group-1 entries into it.
+  const int32_t sib = static_cast<int32_t>(nodes_.size());
+  nodes_.push_back(Node{});
+  // NOTE: nodes_ may have reallocated; re-take references after push_back.
+  nodes_[sib].is_leaf = is_leaf;
+
+  Node old_node = std::move(nodes_[idx]);
+  Node& left = nodes_[idx];
+  Node& right = nodes_[sib];
+  left = Node{};
+  left.is_leaf = is_leaf;
+  left.parent = old_node.parent;
+  right.parent = old_node.parent;
+
+  const size_t n = is_leaf ? old_node.points.size() : old_node.children.size();
+  for (size_t i = 0; i < n; ++i) {
+    Node& dst = group[i] == 0 ? left : right;
+    if (is_leaf) {
+      dst.points.push_back(old_node.points[i]);
+      dst.ids.push_back(old_node.ids[i]);
+    } else {
+      dst.children.push_back(old_node.children[i]);
+      dst.child_mbrs.push_back(old_node.child_mbrs[i]);
+      nodes_[old_node.children[i]].parent =
+          group[i] == 0 ? idx : sib;
+    }
+  }
+
+  const int32_t parent = nodes_[idx].parent;
+  if (parent < 0) {
+    // Grow a new root.
+    const int32_t new_root = static_cast<int32_t>(nodes_.size());
+    nodes_.push_back(Node{});
+    Node& root = nodes_[new_root];
+    root.is_leaf = false;
+    root.children = {idx, sib};
+    root.child_mbrs = {NodeMbr(idx), NodeMbr(sib)};
+    nodes_[idx].parent = new_root;
+    nodes_[sib].parent = new_root;
+    root_ = new_root;
+  } else {
+    Node& pnode = nodes_[parent];
+    for (size_t i = 0; i < pnode.children.size(); ++i) {
+      if (pnode.children[i] == idx) {
+        pnode.child_mbrs[i] = NodeMbr(idx);
+        break;
+      }
+    }
+    pnode.children.push_back(sib);
+    pnode.child_mbrs.push_back(NodeMbr(sib));
+    // Parent overflow is handled by the caller's upward loop.
+  }
+}
+
+RTree RTree::BulkLoad(const std::vector<Point>& points, RTreeOptions options) {
+  RTree tree(options);
+  const size_t n = points.size();
+  if (n == 0) return tree;
+  tree.size_ = n;
+  const size_t cap = options.max_entries;
+
+  // Sort ids by x, slice, sort slices by y, pack leaves (STR).
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    if (points[a].x != points[b].x) return points[a].x < points[b].x;
+    if (points[a].y != points[b].y) return points[a].y < points[b].y;
+    return a < b;
+  });
+  const size_t leaf_count = (n + cap - 1) / cap;
+  const size_t slices = static_cast<size_t>(
+      std::ceil(std::sqrt(static_cast<double>(leaf_count))));
+  const size_t slice_size = (n + slices - 1) / slices;
+  std::vector<int32_t> level;  // node handles of the current level
+  for (size_t s = 0; s < slices; ++s) {
+    const size_t begin = s * slice_size;
+    if (begin >= n) break;
+    const size_t end = std::min(begin + slice_size, n);
+    std::sort(order.begin() + begin, order.begin() + end,
+              [&](uint32_t a, uint32_t b) {
+                if (points[a].y != points[b].y) return points[a].y < points[b].y;
+                if (points[a].x != points[b].x) return points[a].x < points[b].x;
+                return a < b;
+              });
+    for (size_t i = begin; i < end; i += cap) {
+      const int32_t h = static_cast<int32_t>(tree.nodes_.size());
+      tree.nodes_.push_back(Node{});
+      Node& leaf = tree.nodes_.back();
+      leaf.is_leaf = true;
+      for (size_t j = i; j < std::min(i + cap, end); ++j) {
+        leaf.points.push_back(points[order[j]]);
+        leaf.ids.push_back(order[j]);
+      }
+      level.push_back(h);
+    }
+  }
+
+  // Build internal levels by packing node MBR centers with the same STR.
+  while (level.size() > 1) {
+    std::vector<Point> centers;
+    centers.reserve(level.size());
+    for (int32_t h : level) centers.push_back(tree.NodeMbr(h).Center());
+    std::vector<uint32_t> idx(level.size());
+    std::iota(idx.begin(), idx.end(), 0);
+    std::sort(idx.begin(), idx.end(), [&](uint32_t a, uint32_t b) {
+      if (centers[a].x != centers[b].x) return centers[a].x < centers[b].x;
+      return centers[a].y < centers[b].y;
+    });
+    const size_t m = level.size();
+    const size_t parent_count = (m + cap - 1) / cap;
+    const size_t pslices = static_cast<size_t>(
+        std::ceil(std::sqrt(static_cast<double>(parent_count))));
+    const size_t pslice_size = (m + pslices - 1) / pslices;
+    std::vector<int32_t> next_level;
+    for (size_t s = 0; s < pslices; ++s) {
+      const size_t begin = s * pslice_size;
+      if (begin >= m) break;
+      const size_t end = std::min(begin + pslice_size, m);
+      std::sort(idx.begin() + begin, idx.begin() + end,
+                [&](uint32_t a, uint32_t b) {
+                  if (centers[a].y != centers[b].y)
+                    return centers[a].y < centers[b].y;
+                  return centers[a].x < centers[b].x;
+                });
+      for (size_t i = begin; i < end; i += cap) {
+        const int32_t h = static_cast<int32_t>(tree.nodes_.size());
+        tree.nodes_.push_back(Node{});
+        tree.nodes_[h].is_leaf = false;
+        for (size_t j = i; j < std::min(i + cap, end); ++j) {
+          const int32_t child = level[idx[j]];
+          tree.nodes_[h].children.push_back(child);
+          tree.nodes_[h].child_mbrs.push_back(tree.NodeMbr(child));
+          tree.nodes_[child].parent = h;
+        }
+        next_level.push_back(h);
+      }
+    }
+    level = std::move(next_level);
+  }
+  tree.root_ = level.empty() ? -1 : level.front();
+  return tree;
+}
+
+void RTree::RangeQuery(const Rect& r, std::vector<uint32_t>* out) const {
+  Traverse([&](const Rect& mbr) { return mbr.Intersects(r); },
+           [&](const Point& p, uint32_t id) {
+             if (r.Contains(p)) out->push_back(id);
+           });
+}
+
+void RTree::CircleRangeQuery(const Point& center, double radius,
+                             std::vector<uint32_t>* out) const {
+  const double r2 = radius * radius;
+  Traverse([&](const Rect& mbr) { return mbr.MinDist2(center) <= r2; },
+           [&](const Point& p, uint32_t id) {
+             if (Dist2(p, center) <= r2) out->push_back(id);
+           });
+}
+
+std::vector<uint32_t> RTree::Knn(const Point& q, size_t k) const {
+  std::vector<uint32_t> result;
+  if (root_ < 0 || k == 0) return result;
+  struct Entry {
+    double key;
+    bool is_point;
+    int32_t node;
+    uint32_t id;
+    Point p;
+    bool operator>(const Entry& o) const {
+      if (key != o.key) return key > o.key;
+      // Expand nodes before points at equal keys; break point ties by id.
+      if (is_point != o.is_point) return is_point && !o.is_point;
+      return id > o.id;
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+  heap.push({0.0, false, root_, 0, Point{}});
+  while (!heap.empty() && result.size() < k) {
+    const Entry e = heap.top();
+    heap.pop();
+    if (e.is_point) {
+      result.push_back(e.id);
+    } else if (IsLeafNode(e.node)) {
+      ForEachLeafEntry(e.node, [&](const Point& p, uint32_t id) {
+        heap.push({Dist(q, p), true, -1, id, p});
+      });
+    } else {
+      ForEachChild(e.node, [&](int32_t child, const Rect& mbr) {
+        heap.push({mbr.MinDist(q), false, child, 0, Point{}});
+      });
+    }
+  }
+  return result;
+}
+
+int RTree::LeafDepth() const {
+  int d = 0;
+  int32_t n = root_;
+  while (n >= 0 && !nodes_[n].is_leaf) {
+    n = nodes_[n].children.front();
+    ++d;
+  }
+  return d;
+}
+
+void RTree::CheckNode(int32_t idx, int depth, int leaf_depth) const {
+  const Node& node = nodes_[idx];
+  if (idx != root_) {
+    MPN_ASSERT(node.EntryCount() >= 1);
+    MPN_ASSERT(node.EntryCount() <= options_.max_entries);
+  }
+  if (node.is_leaf) {
+    MPN_ASSERT(depth == leaf_depth);
+    MPN_ASSERT(node.points.size() == node.ids.size());
+  } else {
+    MPN_ASSERT(node.children.size() == node.child_mbrs.size());
+    for (size_t i = 0; i < node.children.size(); ++i) {
+      const int32_t c = node.children[i];
+      MPN_ASSERT(nodes_[c].parent == idx);
+      const Rect actual = NodeMbr(c);
+      MPN_ASSERT(node.child_mbrs[i].ContainsRect(actual) ||
+                 (actual.IsEmpty() && node.child_mbrs[i].IsEmpty()));
+      CheckNode(c, depth + 1, leaf_depth);
+    }
+  }
+}
+
+void RTree::CheckInvariants() const {
+  if (root_ < 0) {
+    MPN_ASSERT(size_ == 0);
+    return;
+  }
+  size_t counted = 0;
+  Traverse([](const Rect&) { return true; },
+           [&](const Point&, uint32_t) { ++counted; });
+  MPN_ASSERT(counted == size_);
+  CheckNode(root_, 0, LeafDepth());
+}
+
+}  // namespace mpn

@@ -1,0 +1,166 @@
+// In-memory R-tree over 2-D points.
+//
+// This is the index the paper assumes over the POI set P (Section 3.1).
+// It supports Guttman-style insertion with quadratic split, STR (sort-tile-
+// recursive) bulk loading, range and kNN queries, and a generic pruned
+// traversal used by the Theorem-3/Theorem-6 candidate retrieval and by the
+// incremental group-nearest-neighbor search (index/gnn.h).
+//
+// Nodes live in an arena (std::vector) and are addressed by index, which
+// keeps the structure cache-friendly and trivially copyable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/rect.h"
+#include "geom/vec2.h"
+#include "util/macros.h"
+
+namespace mpn {
+
+/// Tuning knobs for the R-tree.
+struct RTreeOptions {
+  /// Maximum entries per node before a split.
+  uint32_t max_entries = 32;
+  /// Minimum entries per node after a split (must be <= max_entries / 2).
+  uint32_t min_entries = 8;
+};
+
+/// R-tree over points; point payloads are 32-bit ids (indices into the
+/// caller's point array).
+class RTree {
+ public:
+  explicit RTree(RTreeOptions options = {});
+
+  /// Bulk loads with the STR packing algorithm; ids are 0..points.size()-1.
+  static RTree BulkLoad(const std::vector<Point>& points,
+                        RTreeOptions options = {});
+
+  /// Inserts one point with the given id.
+  void Insert(const Point& p, uint32_t id);
+
+  /// Number of points stored.
+  size_t size() const { return size_; }
+
+  /// True when no points are stored.
+  bool empty() const { return size_ == 0; }
+
+  /// MBR of the whole tree (empty rect when empty).
+  Rect bounds() const;
+
+  /// Tree height (leaf = 1); 0 when empty.
+  int Height() const;
+
+  /// Collects ids of all points inside `r` (closed containment).
+  void RangeQuery(const Rect& r, std::vector<uint32_t>* out) const;
+
+  /// Collects ids of all points within `radius` of `center`.
+  void CircleRangeQuery(const Point& center, double radius,
+                        std::vector<uint32_t>* out) const;
+
+  /// k nearest neighbors of `q` by Euclidean distance, nearest first.
+  /// Ties broken by id. Returns fewer than k when the tree is smaller.
+  std::vector<uint32_t> Knn(const Point& q, size_t k) const;
+
+  /// Guided traversal. Descends into a child iff `mbr_pred(child_mbr)` is
+  /// true; calls `point_fn(point, id)` for every point entry in visited
+  /// leaves whose enclosing leaf was reached. Used to implement the paper's
+  /// pruned candidate retrieval.
+  template <typename MbrPred, typename PointFn>
+  void Traverse(MbrPred&& mbr_pred, PointFn&& point_fn) const {
+    if (root_ < 0) return;
+    std::vector<int32_t> stack{root_};
+    while (!stack.empty()) {
+      const int32_t idx = stack.back();
+      stack.pop_back();
+      ++node_accesses_;
+      const Node& node = nodes_[idx];
+      if (node.is_leaf) {
+        for (size_t i = 0; i < node.points.size(); ++i) {
+          point_fn(node.points[i], node.ids[i]);
+        }
+      } else {
+        for (size_t i = 0; i < node.children.size(); ++i) {
+          if (mbr_pred(node.child_mbrs[i])) stack.push_back(node.children[i]);
+        }
+      }
+    }
+  }
+
+  // Low-level node access for best-first searches (index/gnn.h). Node
+  // handles are opaque int32 indices; -1 means "no node".
+
+  /// Root node handle; -1 when empty.
+  int32_t root() const { return root_; }
+
+  /// True when the handle refers to a leaf.
+  bool IsLeafNode(int32_t node) const { return nodes_[node].is_leaf; }
+
+  /// Visits (child_handle, child_mbr) pairs of an internal node.
+  template <typename Fn>
+  void ForEachChild(int32_t node, Fn&& fn) const {
+    ++node_accesses_;
+    const Node& n = nodes_[node];
+    MPN_DCHECK(!n.is_leaf);
+    for (size_t i = 0; i < n.children.size(); ++i) {
+      fn(n.children[i], n.child_mbrs[i]);
+    }
+  }
+
+  /// Visits (point, id) pairs of a leaf node.
+  template <typename Fn>
+  void ForEachLeafEntry(int32_t node, Fn&& fn) const {
+    ++node_accesses_;
+    const Node& n = nodes_[node];
+    MPN_DCHECK(n.is_leaf);
+    for (size_t i = 0; i < n.points.size(); ++i) fn(n.points[i], n.ids[i]);
+  }
+
+  /// Cumulative count of node visits across all queries (profiling aid for
+  /// the buffering experiments, Fig. 16/19).
+  uint64_t node_accesses() const { return node_accesses_; }
+
+  /// Resets the node-access counter.
+  void ResetNodeAccesses() const { node_accesses_ = 0; }
+
+  /// Validates structural invariants (MBR containment, fanout bounds,
+  /// uniform leaf depth). Aborts on violation; used by tests.
+  void CheckInvariants() const;
+
+ private:
+  friend class RTreeCursorAccess;
+
+  struct Node {
+    bool is_leaf = true;
+    int32_t parent = -1;
+    // Leaf payload.
+    std::vector<Point> points;
+    std::vector<uint32_t> ids;
+    // Internal payload.
+    std::vector<int32_t> children;
+    std::vector<Rect> child_mbrs;
+
+    size_t EntryCount() const {
+      return is_leaf ? points.size() : children.size();
+    }
+  };
+
+  Rect NodeMbr(int32_t idx) const;
+  int32_t ChooseLeaf(const Point& p) const;
+  void AdjustUpward(int32_t idx);
+  void SplitNode(int32_t idx);
+  // Quadratic-split partition of entry MBRs into two groups; returns group
+  // assignment per entry (0/1).
+  std::vector<int> QuadraticPartition(const std::vector<Rect>& entry_mbrs) const;
+  void CheckNode(int32_t idx, int depth, int leaf_depth) const;
+  int LeafDepth() const;
+
+  RTreeOptions options_;
+  std::vector<Node> nodes_;
+  int32_t root_ = -1;
+  size_t size_ = 0;
+  mutable uint64_t node_accesses_ = 0;
+};
+
+}  // namespace mpn

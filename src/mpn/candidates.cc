@@ -1,0 +1,160 @@
+#include "mpn/candidates.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/macros.h"
+
+namespace mpn {
+
+namespace {
+
+// Maximum displacement of user j from her current location within her
+// region, including (for user_i) the tile under test: r_up in Theorems 3/6.
+double UserMaxDisplacement(const TileRegion& region, const Point& user,
+                           const Rect* extra_tile) {
+  double r = 0.0;
+  for (const Rect& t : region.rects()) r = std::max(r, t.MaxDist(user));
+  if (extra_tile != nullptr) r = std::max(r, extra_tile->MaxDist(user));
+  return r;
+}
+
+}  // namespace
+
+FreshCandidateSource::FreshCandidateSource(const RTree* tree,
+                                           const std::vector<Point>* users,
+                                           Objective obj, uint32_t po_id,
+                                           const Point& po, bool use_pruning)
+    : tree_(tree),
+      users_(users),
+      obj_(obj),
+      po_id_(po_id),
+      po_(po),
+      use_pruning_(use_pruning) {}
+
+bool FreshCandidateSource::GetCandidates(
+    const std::vector<TileRegion>& regions, size_t user_i, const Rect& s,
+    std::vector<Candidate>* out) {
+  out->clear();
+  ++stats_.retrievals;
+  const std::vector<Point>& users = *users_;
+  const size_t m = users.size();
+  MPN_DCHECK(regions.size() == m);
+
+  if (!use_pruning_) {  // ablation baseline: every non-result POI
+    tree_->Traverse([](const Rect&) { return true; },
+                    [&](const Point& p, uint32_t id) {
+                      if (id != po_id_) out->push_back({id, p});
+                    });
+    stats_.candidates_total += out->size();
+    return true;
+  }
+
+  // Per-user displacement bounds r_up (tile s counts for user_i).
+  std::vector<double> r_up(m);
+  for (size_t j = 0; j < m; ++j) {
+    r_up[j] =
+        UserMaxDisplacement(regions[j], users[j], j == user_i ? &s : nullptr);
+  }
+
+  if (obj_ == Objective::kMax) {
+    // Theorem 3: p survives iff ||p,u_j|| <= ||po,R||_top + r_up_j for all j.
+    double top = s.MaxDist(po_);
+    for (size_t j = 0; j < m; ++j) {
+      if (!regions[j].empty()) top = std::max(top, regions[j].MaxDist(po_));
+    }
+    std::vector<double> bound(m);
+    for (size_t j = 0; j < m; ++j) bound[j] = top + r_up[j];
+    tree_->Traverse(
+        [&](const Rect& mbr) {
+          for (size_t j = 0; j < m; ++j) {
+            if (mbr.MinDist(users[j]) > bound[j]) return false;
+          }
+          return true;
+        },
+        [&](const Point& p, uint32_t id) {
+          if (id == po_id_) return;
+          for (size_t j = 0; j < m; ++j) {
+            if (Dist(p, users[j]) > bound[j]) return;
+          }
+          out->push_back({id, p});
+        });
+  } else {
+    // Theorem 6: p survives iff ||p,U||_sum <= ||po,U||_sum + 2*sum_j r_up_j.
+    double sum_r = 0.0;
+    for (size_t j = 0; j < m; ++j) sum_r += r_up[j];
+    const double bound = AggDist(po_, users, Objective::kSum) + 2.0 * sum_r;
+    tree_->Traverse(
+        [&](const Rect& mbr) {
+          return AggMinDist(mbr, users, Objective::kSum) <= bound;
+        },
+        [&](const Point& p, uint32_t id) {
+          if (id == po_id_) return;
+          if (AggDist(p, users, Objective::kSum) <= bound) {
+            out->push_back({id, p});
+          }
+        });
+  }
+  stats_.candidates_total += out->size();
+  return true;
+}
+
+BufferedCandidateSource::BufferedCandidateSource(
+    const RTree& tree, const std::vector<Point>& users, Objective obj, int b)
+    : users_(users), obj_(obj) {
+  MPN_ASSERT(b >= 1);
+  buffer_ = FindGnn(tree, users_, obj, static_cast<size_t>(b) + 1);
+  MPN_ASSERT(!buffer_.empty());
+  const double denom =
+      obj == Objective::kMax ? 2.0 : 2.0 * static_cast<double>(users_.size());
+  betas_.reserve(static_cast<size_t>(b));
+  for (int z = 1; z <= b; ++z) {
+    // beta_z = (agg(p^{z+1}) - agg(po)) / denom; +inf when the dataset has
+    // no (z+1)-th point (then no point outside the buffer can ever win).
+    if (static_cast<size_t>(z) < buffer_.size()) {
+      betas_.push_back((buffer_[static_cast<size_t>(z)].agg - buffer_[0].agg) /
+                       denom);
+    } else {
+      betas_.push_back(std::numeric_limits<double>::infinity());
+    }
+  }
+}
+
+double BufferedCandidateSource::Beta(int z) const {
+  MPN_ASSERT(z >= 1 && static_cast<size_t>(z) <= betas_.size());
+  return betas_[static_cast<size_t>(z) - 1];
+}
+
+bool BufferedCandidateSource::GetCandidates(
+    const std::vector<TileRegion>& regions, size_t user_i, const Rect& s,
+    std::vector<Candidate>* out) {
+  out->clear();
+  ++stats_.retrievals;
+  const size_t m = users_.size();
+  MPN_DCHECK(regions.size() == m);
+  // Algorithm 5 line 1: the largest displacement any user can have.
+  double dist = s.MaxDist(users_[user_i]);
+  for (size_t j = 0; j < m; ++j) {
+    if (!regions[j].empty()) {
+      dist = std::max(dist,
+                      UserMaxDisplacement(regions[j], users_[j], nullptr));
+    }
+  }
+  // Minimum slot z with dist <= beta_z (binary search; betas are sorted).
+  const auto it = std::lower_bound(betas_.begin(), betas_.end(), dist);
+  if (it == betas_.end()) {
+    ++stats_.rejected_by_buffer;
+    return false;  // Algorithm 5 lines 3-4
+  }
+  const int z = static_cast<int>(it - betas_.begin()) + 1;
+  // Verify against P*_{1..z} - {po} = buffered points 2..z.
+  for (int j = 1; j < z && static_cast<size_t>(j) < buffer_.size(); ++j) {
+    out->push_back({buffer_[static_cast<size_t>(j)].id,
+                    buffer_[static_cast<size_t>(j)].p});
+  }
+  stats_.candidates_total += out->size();
+  return true;
+}
+
+}  // namespace mpn

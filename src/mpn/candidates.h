@@ -1,0 +1,108 @@
+// Candidate retrieval for tile verification.
+//
+// Divide-Verify (Algorithm 2) must test a tile against every POI that could
+// displace the current optimum. Two sources are provided:
+//
+//  * FreshCandidateSource — traverses the R-tree on every call, pruning
+//    with Theorem 3 (MAX) or Theorem 6 (SUM). Exact but touches the index
+//    repeatedly; this is the cost the Section-5.4 buffering removes.
+//
+//  * BufferedCandidateSource — retrieves the best b+1 GNNs once per safe-
+//    region computation and serves verification from that buffer using the
+//    distance-threshold slots of Theorem 4 / Theorem 7 (Algorithm 5). A
+//    tile whose required displacement exceeds the largest threshold is
+//    rejected outright (conservative).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "index/gnn.h"
+#include "mpn/safe_region.h"
+
+namespace mpn {
+
+/// A POI that must be checked during tile verification.
+struct Candidate {
+  uint32_t id = 0;
+  Point p;
+};
+
+/// Shared statistics across candidate retrievals.
+struct CandidateStats {
+  uint64_t retrievals = 0;        ///< calls to GetCandidates
+  uint64_t candidates_total = 0;  ///< candidates returned in total
+  uint64_t rejected_by_buffer = 0;  ///< tiles rejected for exceeding beta_b
+};
+
+/// Interface used by Divide-Verify.
+class CandidateSource {
+ public:
+  virtual ~CandidateSource() = default;
+
+  /// Computes the candidates that must be verified when tile `s` (geometric
+  /// extent) is being allocated to `user_i`, given the current tile regions.
+  /// Returns false when the tile must be rejected without verification
+  /// (buffered mode: no valid distance-threshold slot).
+  virtual bool GetCandidates(const std::vector<TileRegion>& regions,
+                             size_t user_i, const Rect& s,
+                             std::vector<Candidate>* out) = 0;
+
+  const CandidateStats& stats() const { return stats_; }
+
+ protected:
+  CandidateStats stats_;
+};
+
+/// Theorem 3 / Theorem 6 pruned retrieval from the R-tree on every call.
+class FreshCandidateSource : public CandidateSource {
+ public:
+  /// `tree`, `users` must outlive the source. `po_id`/`po`/`po_agg` identify
+  /// the current optimum and its aggregate distance. With
+  /// `use_pruning = false` the traversal degenerates to a full scan
+  /// (ablation baseline for the Theorem-3/6 pruning).
+  FreshCandidateSource(const RTree* tree, const std::vector<Point>* users,
+                       Objective obj, uint32_t po_id, const Point& po,
+                       bool use_pruning = true);
+
+  bool GetCandidates(const std::vector<TileRegion>& regions, size_t user_i,
+                     const Rect& s, std::vector<Candidate>* out) override;
+
+ private:
+  const RTree* tree_;
+  const std::vector<Point>* users_;
+  Objective obj_;
+  uint32_t po_id_;
+  Point po_;
+  bool use_pruning_;
+};
+
+/// Theorem 4 / Theorem 7 buffered retrieval (Algorithm 5).
+class BufferedCandidateSource : public CandidateSource {
+ public:
+  /// Fetches the best b+1 GNNs from the tree (one-time index access) and
+  /// precomputes the distance thresholds beta_1..beta_b.
+  BufferedCandidateSource(const RTree& tree, const std::vector<Point>& users,
+                          Objective obj, int b);
+
+  bool GetCandidates(const std::vector<TileRegion>& regions, size_t user_i,
+                     const Rect& s, std::vector<Candidate>* out) override;
+
+  /// The optimum (first buffered GNN).
+  const GnnCursor::Item& best() const { return buffer_.front(); }
+
+  /// Distance threshold of slot z (1-based); +inf past the dataset end.
+  double Beta(int z) const;
+
+  /// Number of usable slots.
+  int slot_count() const { return static_cast<int>(betas_.size()); }
+
+ private:
+  std::vector<Point> users_;
+  Objective obj_;
+  std::vector<GnnCursor::Item> buffer_;  // best b+1 GNNs (or fewer)
+  std::vector<double> betas_;            // betas_[z-1] = beta_z, z = 1..b
+};
+
+}  // namespace mpn

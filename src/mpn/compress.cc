@@ -1,0 +1,74 @@
+#include "mpn/compress.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/macros.h"
+
+namespace mpn {
+
+size_t EncodedTileRegion::ValueCount() const {
+  size_t v = 4;  // origin.x, origin.y, delta, level_count
+  for (const EncodedLevel& lv : levels) v += 5 + lv.bits.WordCount();
+  return v;
+}
+
+EncodedTileRegion EncodeTileRegion(const TileRegion& region) {
+  EncodedTileRegion enc;
+  enc.origin = region.origin();
+  enc.delta = region.delta();
+
+  // Group tiles by level and compute per-level windows.
+  std::map<int32_t, std::vector<const GridTile*>> by_level;
+  for (const GridTile& t : region.tiles()) by_level[t.level].push_back(&t);
+
+  for (const auto& [level, tiles] : by_level) {
+    EncodedLevel lv;
+    lv.level = level;
+    int32_t min_x = tiles[0]->ix, max_x = tiles[0]->ix;
+    int32_t min_y = tiles[0]->iy, max_y = tiles[0]->iy;
+    for (const GridTile* t : tiles) {
+      min_x = std::min(min_x, t->ix);
+      max_x = std::max(max_x, t->ix);
+      min_y = std::min(min_y, t->iy);
+      max_y = std::max(max_y, t->iy);
+    }
+    lv.ix0 = min_x;
+    lv.iy0 = min_y;
+    lv.width = max_x - min_x + 1;
+    lv.height = max_y - min_y + 1;
+    lv.bits = DynamicBitset(static_cast<size_t>(lv.width) *
+                            static_cast<size_t>(lv.height));
+    for (const GridTile* t : tiles) {
+      const size_t bit = static_cast<size_t>(t->iy - lv.iy0) *
+                             static_cast<size_t>(lv.width) +
+                         static_cast<size_t>(t->ix - lv.ix0);
+      lv.bits.Set(bit);
+    }
+    enc.levels.push_back(std::move(lv));
+  }
+  return enc;
+}
+
+TileRegion DecodeTileRegion(const EncodedTileRegion& enc) {
+  TileRegion region = TileRegion::FromOrigin(enc.origin, enc.delta);
+  for (const EncodedLevel& lv : enc.levels) {
+    for (int32_t y = 0; y < lv.height; ++y) {
+      for (int32_t x = 0; x < lv.width; ++x) {
+        const size_t bit = static_cast<size_t>(y) *
+                               static_cast<size_t>(lv.width) +
+                           static_cast<size_t>(x);
+        if (lv.bits.Test(bit)) {
+          region.Add(GridTile{lv.level, lv.ix0 + x, lv.iy0 + y});
+        }
+      }
+    }
+  }
+  return region;
+}
+
+size_t RawTileValueCount(const TileRegion& region) {
+  return region.size() * 3;
+}
+
+}  // namespace mpn

@@ -1,0 +1,198 @@
+// Safe-region representations (Sections 4 and 5).
+//
+// A safe region is either a circle (Section 4, Circle-MSR) or a set of
+// grid-anchored square tiles (Section 5, Tile-MSR). Tiles are kept in
+// *canonical grid coordinates*: a TileRegion fixes an origin (the lower-left
+// corner of the initial tile, which is centered at the user location) and a
+// base tile side `delta`; a tile at level k is a cell of the 2^k-times
+// refined grid. This makes tile subdivision, containment tests and the
+// lossless compression of mpn/compress.h exact (no floating-point drift
+// between server and client).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/circle.h"
+#include "geom/rect.h"
+#include "geom/vec2.h"
+#include "util/macros.h"
+
+namespace mpn {
+
+/// A square tile in canonical grid coordinates. Level-k cells have side
+/// delta / 2^k; cell (ix, iy) covers
+/// [origin + (ix, iy) * side, origin + (ix+1, iy+1) * side].
+struct GridTile {
+  int32_t level = 0;
+  int32_t ix = 0;
+  int32_t iy = 0;
+
+  /// The four children at level+1 (quadrants of this tile).
+  void Children(GridTile out[4]) const {
+    for (int q = 0; q < 4; ++q) {
+      out[q] = GridTile{level + 1, 2 * ix + (q & 1), 2 * iy + (q >> 1)};
+    }
+  }
+
+  bool operator==(const GridTile& o) const {
+    return level == o.level && ix == o.ix && iy == o.iy;
+  }
+};
+
+/// Tile-based safe region for one user: a set of disjoint grid tiles.
+class TileRegion {
+ public:
+  TileRegion() = default;
+
+  /// Creates an empty region anchored at user location `user` with base tile
+  /// side `delta`. The initial tile (level 0, cell (0,0)) is *not* added
+  /// automatically.
+  TileRegion(const Point& user, double delta)
+      : origin_{user.x - delta / 2.0, user.y - delta / 2.0}, delta_(delta) {}
+
+  /// Constructs an empty region from an explicit anchor (decoder side; the
+  /// anchor must match the encoder's bit-for-bit, so it is passed through
+  /// rather than recomputed from the user location).
+  static TileRegion FromOrigin(const Point& origin, double delta) {
+    TileRegion r;
+    r.origin_ = origin;
+    r.delta_ = delta;
+    return r;
+  }
+
+  /// Anchor point (lower-left corner of cell (0,0,0)).
+  const Point& origin() const { return origin_; }
+
+  /// Base (level-0) tile side length; delta = sqrt(2) * rmax in Algorithm 3.
+  double delta() const { return delta_; }
+
+  /// Cell side at `level`.
+  double CellSide(int level) const {
+    return delta_ / static_cast<double>(int64_t{1} << level);
+  }
+
+  /// Geometric extent of a grid tile.
+  Rect TileRect(const GridTile& t) const {
+    const double side = CellSide(t.level);
+    const Point lo{origin_.x + t.ix * side, origin_.y + t.iy * side};
+    return Rect(lo, {lo.x + side, lo.y + side});
+  }
+
+  /// Adds a tile. Tiles added by the MSR algorithms are disjoint by
+  /// construction (a spiral cell is added whole or via disjoint sub-tiles).
+  void Add(const GridTile& t) {
+    tiles_.push_back(t);
+    rects_.push_back(TileRect(t));
+  }
+
+  /// Number of tiles.
+  size_t size() const { return tiles_.size(); }
+
+  /// True when no tile has been added.
+  bool empty() const { return tiles_.empty(); }
+
+  const std::vector<GridTile>& tiles() const { return tiles_; }
+
+  /// Cached geometric extents, parallel to tiles().
+  const std::vector<Rect>& rects() const { return rects_; }
+
+  /// True when `p` lies in some tile (closed containment).
+  bool Contains(const Point& p) const {
+    for (const Rect& r : rects_) {
+      if (r.Contains(p)) return true;
+    }
+    return false;
+  }
+
+  /// ||p, R_i||_min = min over tiles of the rect min-distance.
+  double MinDist(const Point& p) const {
+    MPN_DCHECK(!rects_.empty());
+    double d = rects_[0].MinDist(p);
+    for (size_t i = 1; i < rects_.size(); ++i) {
+      const double di = rects_[i].MinDist(p);
+      if (di < d) d = di;
+    }
+    return d;
+  }
+
+  /// ||p, R_i||_max = max over tiles of the rect max-distance.
+  double MaxDist(const Point& p) const {
+    MPN_DCHECK(!rects_.empty());
+    double d = rects_[0].MaxDist(p);
+    for (size_t i = 1; i < rects_.size(); ++i) {
+      const double di = rects_[i].MaxDist(p);
+      if (di > d) d = di;
+    }
+    return d;
+  }
+
+  /// Bounding box of all tiles.
+  Rect Bounds() const {
+    Rect b = Rect::Empty();
+    for (const Rect& r : rects_) b.ExpandToInclude(r);
+    return b;
+  }
+
+ private:
+  Point origin_;
+  double delta_ = 0.0;
+  std::vector<GridTile> tiles_;
+  std::vector<Rect> rects_;
+};
+
+/// A safe region handed to a client: circle or tile set.
+class SafeRegion {
+ public:
+  SafeRegion() : kind_(Kind::kCircle) {}
+
+  /// Shape discriminator.
+  enum class Kind { kCircle, kTiles };
+
+  static SafeRegion MakeCircle(const Circle& c) {
+    SafeRegion r;
+    r.kind_ = Kind::kCircle;
+    r.circle_ = c;
+    return r;
+  }
+
+  static SafeRegion MakeTiles(TileRegion t) {
+    SafeRegion r;
+    r.kind_ = Kind::kTiles;
+    r.tiles_ = std::move(t);
+    return r;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_circle() const { return kind_ == Kind::kCircle; }
+  const Circle& circle() const { return circle_; }
+  const TileRegion& tiles() const { return tiles_; }
+
+  /// True when the user location `p` is inside the region.
+  bool Contains(const Point& p) const {
+    return is_circle() ? circle_.Contains(p) : tiles_.Contains(p);
+  }
+
+  /// ||p, R_i||_min (Definition 1).
+  double MinDist(const Point& p) const {
+    return is_circle() ? circle_.MinDist(p) : tiles_.MinDist(p);
+  }
+
+  /// ||p, R_i||_max (Definition 1).
+  double MaxDist(const Point& p) const {
+    return is_circle() ? circle_.MaxDist(p) : tiles_.MaxDist(p);
+  }
+
+ private:
+  Kind kind_;
+  Circle circle_;
+  TileRegion tiles_;
+};
+
+/// Dominant maximum distance ||p, R||_top = max_i ||p, R_i||_max (Eq. 4).
+double DominantMaxDist(const std::vector<SafeRegion>& regions, const Point& p);
+
+/// Dominant minimum distance ||p, R||_bot = max_i ||p, R_i||_min (Eq. 3).
+double DominantMinDist(const std::vector<SafeRegion>& regions, const Point& p);
+
+}  // namespace mpn

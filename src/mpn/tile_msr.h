@@ -1,0 +1,84 @@
+// Tile-based safe regions (Section 5): Divide-Verify (Algorithm 2) and
+// Tile-MSR (Algorithm 3), with GT-Verify, Theorem-3/6 index pruning,
+// directed orderings and the Section-5.4 buffering optimization — and the
+// Sum-MPN extensions of Section 6.3.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "index/gnn.h"
+#include "mpn/candidates.h"
+#include "mpn/circle_msr.h"
+#include "mpn/safe_region.h"
+#include "mpn/tile_ordering.h"
+#include "mpn/tile_verify.h"
+
+namespace mpn {
+
+/// Verification back-end selector.
+enum class VerifierKind {
+  kGt,  ///< GT-Verify (Algorithm 4) / Sum hyperbola verify (Algorithm 6)
+  kIt,  ///< exhaustive IT-Verify (MAX only; reference & ablation)
+};
+
+/// Configuration of the tile-based safe-region computation.
+struct TileMsrConfig {
+  int alpha = 30;         ///< tile limit per user (Table 2 default)
+  int split_level = 2;    ///< L, recursion depth of Divide-Verify
+  bool directed = false;  ///< Tile-D: directed tile ordering
+  bool buffered = false;  ///< Tile-D-b: Section-5.4 buffering
+  int buffer_b = 100;     ///< b, buffer size (paper recommends 10..100)
+  VerifierKind verifier = VerifierKind::kGt;
+  /// Theorem-3/6 index pruning during candidate retrieval. Disable only for
+  /// the ablation benchmarks (full scans are drastically slower).
+  bool index_pruning = true;
+  /// Fallback cone half-angle for directed ordering when a user supplies no
+  /// learned deviation (radians).
+  double default_theta = 1.0471975511965976;  // 60 degrees
+};
+
+/// Per-computation statistics (drives the running-time/ablation benches).
+struct MsrStats {
+  uint64_t tiles_tried = 0;        ///< level-0 cells pulled from orderings
+  uint64_t tiles_added = 0;        ///< tiles inserted (all levels)
+  uint64_t divide_calls = 0;       ///< Divide-Verify invocations
+  VerifyStats verify;              ///< verifier counters
+  CandidateStats candidates;       ///< candidate-source counters
+  uint64_t rtree_node_accesses = 0;  ///< R-tree nodes touched
+};
+
+/// Result of one safe-region computation.
+struct MsrResult {
+  uint32_t po_id = 0;
+  Point po;
+  double po_agg = 0.0;
+  std::vector<SafeRegion> regions;
+  MsrStats stats;
+};
+
+/// Per-user movement hint for directed orderings.
+struct MotionHint {
+  bool has_heading = false;
+  double heading = 0.0;  ///< radians
+  double theta = 0.0;    ///< learned angular deviation bound (radians); <= 0
+                         ///< means "use TileMsrConfig::default_theta"
+};
+
+/// Algorithm 2 (Divide-Verify), exposed for testing. Attempts to add grid
+/// tile `tile` (or sub-tiles down to `level` more splits) to
+/// (*regions)[user_i]. Returns true when at least one tile was inserted.
+bool DivideVerify(std::vector<TileRegion>* regions, size_t user_i,
+                  const GridTile& tile, const Point& po,
+                  CandidateSource* source, TileVerifier* verifier, int level,
+                  MsrStats* stats);
+
+/// Algorithm 3 (Tile-MSR). `hints` may be empty (undirected behaviour) or
+/// one entry per user. Falls back to circular regions when the tile side
+/// would degenerate (rmax ~ 0 or unbounded).
+MsrResult ComputeTileMsr(const RTree& tree, const std::vector<Point>& users,
+                         Objective obj, const TileMsrConfig& config,
+                         const std::vector<MotionHint>& hints = {});
+
+}  // namespace mpn

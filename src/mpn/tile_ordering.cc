@@ -1,0 +1,70 @@
+#include "mpn/tile_ordering.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/macros.h"
+
+namespace mpn {
+
+void TileOrdering::RingCell(int k, int pos, int* ix, int* iy) {
+  MPN_DCHECK(k >= 1 && pos >= 0 && pos < 8 * k);
+  if (pos <= k) {
+    *ix = k;
+    *iy = pos;
+  } else if (pos <= 3 * k) {
+    *ix = k - (pos - k);
+    *iy = k;
+  } else if (pos <= 5 * k) {
+    *ix = -k;
+    *iy = k - (pos - 3 * k);
+  } else if (pos <= 7 * k) {
+    *ix = -k + (pos - 5 * k);
+    *iy = -k;
+  } else {
+    *ix = k;
+    *iy = -k + (pos - 7 * k);
+  }
+}
+
+bool TileOrdering::AcceptCell(const TileRegion& region, int ix, int iy) const {
+  if (!directed_) return true;
+  const Rect rect = region.TileRect(GridTile{0, ix, iy});
+  // The user sits at the center of cell (0,0).
+  const Point u{region.origin().x + region.delta() / 2.0,
+                region.origin().y + region.delta() / 2.0};
+  if (rect.Contains(u)) return true;
+  const double center_angle = (rect.Center() - u).Angle();
+  double half_span = 0.0;
+  for (int c = 0; c < 4; ++c) {
+    half_span = std::max(
+        half_span, AngleDiff((rect.Corner(c) - u).Angle(), center_angle));
+  }
+  return AngleDiff(center_angle, heading_) <= theta_ + half_span;
+}
+
+std::optional<GridTile> TileOrdering::Next(const TileRegion& region) {
+  if (exhausted_) return std::nullopt;
+  if (ring_ == 0) {
+    ring_ = 1;
+    pos_ = 0;
+    inserted_in_ring_ = false;
+  }
+  for (;;) {
+    if (pos_ >= 8 * ring_) {
+      if (!inserted_in_ring_) {
+        exhausted_ = true;
+        return std::nullopt;
+      }
+      ++ring_;
+      pos_ = 0;
+      inserted_in_ring_ = false;
+    }
+    int ix = 0, iy = 0;
+    RingCell(ring_, pos_, &ix, &iy);
+    ++pos_;
+    if (AcceptCell(region, ix, iy)) return GridTile{0, ix, iy};
+  }
+}
+
+}  // namespace mpn

@@ -1,0 +1,60 @@
+// Tile browsing orders for Algorithm 3 (Fig. 8).
+//
+// Undirected ordering visits level-0 grid cells ring by ring around the
+// user's initial tile, counter-clockwise starting east. The next ring is
+// entered only if at least one tile of the current ring was inserted into
+// the safe region; otherwise the ordering is exhausted (no farther tile can
+// be valid for this user).
+//
+// Directed ordering additionally skips cells whose subtended angle at the
+// user deviates from the user's current travel direction by more than
+// theta, exploiting the bounded angular deviation of near-future movement
+// (Tao et al., SIGMOD 2004). The angular test is slightly widened by the
+// cell's angular half-span so that cells partially inside the cone are kept
+// (conservative: extra tiles cost time, never correctness).
+#pragma once
+
+#include <optional>
+
+#include "geom/rect.h"
+#include "mpn/safe_region.h"
+
+namespace mpn {
+
+/// Streaming generator of candidate level-0 tiles for one user.
+class TileOrdering {
+ public:
+  /// Undirected ordering.
+  TileOrdering() = default;
+
+  /// Directed ordering around `heading` (radians) with half-angle `theta`.
+  TileOrdering(double heading, double theta)
+      : directed_(true), heading_(heading), theta_(theta) {}
+
+  /// Next level-0 cell to try (never the initial cell (0,0)), or nullopt
+  /// when exhausted. Cells are reported in ring order; within a ring,
+  /// counter-clockwise from east.
+  std::optional<GridTile> Next(const TileRegion& region);
+
+  /// Marks that a tile from the most recently reported cell (or one of its
+  /// sub-tiles) was inserted; enables advancing to the next ring.
+  void MarkInserted() { inserted_in_ring_ = true; }
+
+  /// Ring currently being browsed (1-based; 0 before the first Next call).
+  int ring() const { return ring_; }
+
+ private:
+  // Cell at position `pos` (0-based) of ring `k`, CCW from (k, 0).
+  static void RingCell(int k, int pos, int* ix, int* iy);
+  bool AcceptCell(const TileRegion& region, int ix, int iy) const;
+
+  bool directed_ = false;
+  double heading_ = 0.0;
+  double theta_ = 0.0;
+  int ring_ = 0;
+  int pos_ = 0;  // next position within the ring
+  bool inserted_in_ring_ = false;
+  bool exhausted_ = false;
+};
+
+}  // namespace mpn

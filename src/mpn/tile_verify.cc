@@ -1,0 +1,218 @@
+#include "mpn/tile_verify.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/macros.h"
+
+namespace mpn {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// MaxGtVerifier (Algorithm 4 / Theorem 2)
+// ---------------------------------------------------------------------------
+
+bool MaxGtVerifier::VerifyTile(const std::vector<TileRegion>& regions,
+                               size_t user_i, const Rect& s,
+                               const Candidate& cand, const Point& po) {
+  ++stats_.calls;
+  const Point& p = cand.p;
+  const size_t m = regions.size();
+  const double d_o = s.MaxDist(po);   // dominant max dist of the new tile
+  const double d_p = s.MinDist(p);    // dominant min dist of the new tile
+
+  // One pass over every other user's tiles computes, simultaneously:
+  //  - whole-region aggregates (for the line-1 Lemma-1 check and case 4),
+  //  - the four dominance-group aggregates of Theorem 2.
+  double full_top = d_o;   // ||po, R'||_top with R'_i = {s}
+  double full_bot = d_p;   // ||p, R'||_bot
+  double m_star = 0.0;     // max_{j != i} ||po, R_j||_max   (case 4)
+  double n_star = 0.0;     // max_{j != i} ||p,  R_j||_min   (case 4)
+  bool any_dd_empty = false;   // some G_j^{down,down} empty  -> case 1 vacuous
+  bool any_s_empty = false;    // some G^{dd} u G^{ud} empty  -> case 2 vacuous
+  bool any_t_empty = false;    // some G^{dd} u G^{du} empty  -> case 3 vacuous
+  double case2_top = d_o;      // max maxdist over mindist<dp tiles (+ d_o)
+  double case3_bot = d_p;      // max over j of min mindist over maxdist<do
+  bool has_other = false;
+
+  for (size_t j = 0; j < m; ++j) {
+    if (j == user_i) continue;
+    has_other = true;
+    const TileRegion& rj = regions[j];
+    MPN_DCHECK(!rj.empty());
+    bool has_dd = false, has_s = false, has_t = false;
+    double maxmax_all = 0.0, minmin_all = kInf;
+    double maxmax_s = 0.0, minmin_t = kInf;
+    for (const Rect& t : rj.rects()) {
+      const double mx = t.MaxDist(po);
+      const double mn = t.MinDist(p);
+      maxmax_all = std::max(maxmax_all, mx);
+      minmin_all = std::min(minmin_all, mn);
+      const bool below_do = mx < d_o;
+      const bool below_dp = mn < d_p;
+      if (below_do && below_dp) has_dd = true;
+      if (below_dp) {  // G^{dd} u G^{ud}: u_i stays dominant-min
+        has_s = true;
+        maxmax_s = std::max(maxmax_s, mx);
+      }
+      if (below_do) {  // G^{dd} u G^{du}: u_i stays dominant-max
+        has_t = true;
+        minmin_t = std::min(minmin_t, mn);
+      }
+    }
+    full_top = std::max(full_top, maxmax_all);
+    full_bot = std::max(full_bot, minmin_all);
+    m_star = std::max(m_star, maxmax_all);
+    n_star = std::max(n_star, minmin_all);
+    if (!has_dd) any_dd_empty = true;
+    if (!has_s) any_s_empty = true;
+    if (!has_t) any_t_empty = true;
+    if (has_s) case2_top = std::max(case2_top, maxmax_s);
+    if (has_t) case3_bot = std::max(case3_bot, minmin_t);
+  }
+
+  // Single user: only the new tile matters.
+  if (!has_other) {
+    const bool ok = d_o <= d_p;
+    if (ok) ++stats_.accepted;
+    return ok;
+  }
+
+  // Line 1: Lemma 1 on the whole regions with {s} for user_i.
+  if (full_top <= full_bot) {
+    ++stats_.accepted;
+    return true;
+  }
+
+  // Case 1: u_i dominates both po and p. All other users pick from G^{dd}.
+  const bool case1 = any_dd_empty || d_o <= d_p;
+  // Case 2: u_i is the dominant-min user; another user dominates po.
+  const bool case2 = any_s_empty || case2_top <= d_p;
+  // Case 3: u_i is the dominant-max user; another user dominates p.
+  const bool case3 = any_t_empty || d_o <= case3_bot;
+  if (!case1 || !case2 || !case3) return false;
+
+  // Case 4: both dominant users are others. If R_i already holds a tile s'
+  // that is at least as "hard" as s (||po,s'||_max >= do and
+  // ||p,s'||_min <= dp), the previously verified groups cover these; else
+  // require the worst cross-combination to stay valid:
+  //   M* <= max(dp, N*), since every such group has dominant max <= M* and
+  //   dominant min >= max(dp, N*).
+  bool has_role_tile = false;
+  for (const Rect& t : regions[user_i].rects()) {
+    if (t.MaxDist(po) >= d_o && t.MinDist(p) <= d_p) {
+      has_role_tile = true;
+      break;
+    }
+  }
+  const bool case4 = has_role_tile || m_star <= std::max(d_p, n_star);
+  if (case4) ++stats_.accepted;
+  return case4;
+}
+
+// ---------------------------------------------------------------------------
+// MaxItVerifier (exhaustive reference)
+// ---------------------------------------------------------------------------
+
+bool MaxItVerifier::VerifyTile(const std::vector<TileRegion>& regions,
+                               size_t user_i, const Rect& s,
+                               const Candidate& cand, const Point& po) {
+  ++stats_.calls;
+  const Point& p = cand.p;
+  const size_t m = regions.size();
+
+  uint64_t combos = 1;
+  for (size_t j = 0; j < m; ++j) {
+    if (j == user_i) continue;
+    MPN_ASSERT(!regions[j].empty());
+    combos *= regions[j].size();
+    MPN_ASSERT_MSG(combos <= max_groups_, "IT-Verify tile-group explosion");
+  }
+
+  // Odometer over the other users' tiles; user_i is pinned to s.
+  std::vector<size_t> idx(m, 0);
+  const double s_max_po = s.MaxDist(po);
+  const double s_min_p = s.MinDist(p);
+  for (;;) {
+    ++stats_.tile_groups;
+    double top = s_max_po, bot = s_min_p;
+    for (size_t j = 0; j < m; ++j) {
+      if (j == user_i) continue;
+      const Rect& t = regions[j].rects()[idx[j]];
+      top = std::max(top, t.MaxDist(po));
+      bot = std::max(bot, t.MinDist(p));
+    }
+    if (top > bot) return false;
+    // Advance the odometer.
+    size_t j = 0;
+    for (; j < m; ++j) {
+      if (j == user_i) continue;
+      if (++idx[j] < regions[j].size()) break;
+      idx[j] = 0;
+    }
+    if (j >= m) break;
+  }
+  ++stats_.accepted;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// SumHyperbolaVerifier (Algorithm 6 + memoization)
+// ---------------------------------------------------------------------------
+
+double SumHyperbolaVerifier::UserMinFocalDiff(size_t j,
+                                              const TileRegion& region,
+                                              const Candidate& cand) {
+  auto& table = memo_[j];
+  auto it = table.find(cand.id);
+  if (it != table.end() && it->second.region_size == region.size()) {
+    ++stats_.memo_hits;
+    return it->second.min_f;
+  }
+  double f = kInf;
+  for (const Rect& t : region.rects()) {
+    f = std::min(f, MinFocalDiffOverRect(cand.p, po_, t));
+    ++stats_.focal_evals;
+  }
+  table[cand.id] = MemoEntry{f, region.size()};
+  return f;
+}
+
+bool SumHyperbolaVerifier::VerifyTile(const std::vector<TileRegion>& regions,
+                                      size_t user_i, const Rect& s,
+                                      const Candidate& cand, const Point& po) {
+  (void)po;  // fixed at construction (po_); parameter kept for interface
+  ++stats_.calls;
+  const double f_new = MinFocalDiffOverRect(cand.p, po_, s);
+  ++stats_.focal_evals;
+  double total = f_new;
+  for (size_t j = 0; j < regions.size(); ++j) {
+    if (j == user_i) continue;
+    MPN_DCHECK(!regions[j].empty());
+    total += UserMinFocalDiff(j, regions[j], cand);
+    if (total < -1e12) break;  // early exit on hopeless sums
+  }
+  if (total < 0.0) return false;
+  pending_[cand.id] = f_new;
+  ++stats_.accepted;
+  return true;
+}
+
+void SumHyperbolaVerifier::OnCommitted(size_t user_i, size_t new_region_size) {
+  auto& table = memo_[user_i];
+  for (const auto& [id, f] : pending_) {
+    auto it = table.find(id);
+    if (it != table.end()) {
+      it->second.min_f = std::min(it->second.min_f, f);
+      it->second.region_size = new_region_size;
+    }
+  }
+  // Entries not refreshed above keep their old region_size and will be
+  // recomputed on the next read (correctness under buffered candidate sets).
+  pending_.clear();
+}
+
+}  // namespace mpn

@@ -1,0 +1,40 @@
+#include "mpn/verify.h"
+
+namespace mpn {
+
+double DominantMaxDist(const std::vector<SafeRegion>& regions,
+                       const Point& p) {
+  double d = 0.0;
+  for (const SafeRegion& r : regions) d = std::max(d, r.MaxDist(p));
+  return d;
+}
+
+double DominantMinDist(const std::vector<SafeRegion>& regions,
+                       const Point& p) {
+  double d = 0.0;
+  for (const SafeRegion& r : regions) d = std::max(d, r.MinDist(p));
+  return d;
+}
+
+bool VerifyLemma1(const std::vector<SafeRegion>& regions, const Point& po,
+                  const Point& p) {
+  return DominantMaxDist(regions, po) <= DominantMinDist(regions, p);
+}
+
+bool VerifySumConservative(const std::vector<SafeRegion>& regions,
+                           const Point& po, const Point& p) {
+  double sum_max = 0.0, sum_min = 0.0;
+  for (const SafeRegion& r : regions) {
+    sum_max += r.MaxDist(po);
+    sum_min += r.MinDist(p);
+  }
+  return sum_max <= sum_min;
+}
+
+bool VerifyConservative(const std::vector<SafeRegion>& regions,
+                        const Point& po, const Point& p, Objective obj) {
+  return obj == Objective::kMax ? VerifyLemma1(regions, po, p)
+                                : VerifySumConservative(regions, po, p);
+}
+
+}  // namespace mpn

@@ -1,0 +1,31 @@
+// Conservative verification of safe-region groups (Section 4.1, Lemma 1).
+//
+// Verify(R, po, p) returns true only if the dominant distance of po is
+// guaranteed to be <= that of p for *every* location instance in
+// R_1 x ... x R_m. The test is conservative: no false positives, possible
+// false negatives (Fig. 6b) — those are what the tile-group refinements in
+// mpn/gt_verify.h recover.
+#pragma once
+
+#include <vector>
+
+#include "index/gnn.h"
+#include "mpn/safe_region.h"
+
+namespace mpn {
+
+/// Lemma 1: ||po, R||_top <= ||p, R||_bot for the MAX objective.
+bool VerifyLemma1(const std::vector<SafeRegion>& regions, const Point& po,
+                  const Point& p);
+
+/// Sum-objective analogue used by the circle method and by exhaustive tile
+/// group checks: sum_i ||po, R_i||_max <= sum_i ||p, R_i||_min. Conservative
+/// (the exact sum criterion is the hyperbola-based one in mpn/gt_verify.h).
+bool VerifySumConservative(const std::vector<SafeRegion>& regions,
+                           const Point& po, const Point& p);
+
+/// Dispatches on the objective.
+bool VerifyConservative(const std::vector<SafeRegion>& regions,
+                        const Point& po, const Point& p, Objective obj);
+
+}  // namespace mpn

@@ -1,0 +1,55 @@
+#include "net/message.h"
+
+namespace mpn {
+
+const char* MessageTypeName(MessageType t) {
+  switch (t) {
+    case MessageType::kLocationUpdate: return "location-update";
+    case MessageType::kProbe: return "probe";
+    case MessageType::kProbeReply: return "probe-reply";
+    case MessageType::kResult: return "result";
+  }
+  return "?";
+}
+
+size_t RegionValueCount(const SafeRegion& region, bool compress_tiles) {
+  if (region.is_circle()) return kValuesPerCircle;
+  if (!compress_tiles) return RawTileValueCount(region.tiles());
+  return EncodeTileRegion(region.tiles()).ValueCount();
+}
+
+void CommAccounting::Record(MessageType t, size_t values,
+                            const PacketModel& model) {
+  const size_t i = static_cast<size_t>(t);
+  messages_[i] += 1;
+  values_[i] += values;
+  packets_[i] += model.PacketsForValues(values);
+}
+
+size_t CommAccounting::TotalMessages() const {
+  size_t s = 0;
+  for (size_t v : messages_) s += v;
+  return s;
+}
+
+size_t CommAccounting::TotalPackets() const {
+  size_t s = 0;
+  for (size_t v : packets_) s += v;
+  return s;
+}
+
+size_t CommAccounting::TotalValues() const {
+  size_t s = 0;
+  for (size_t v : values_) s += v;
+  return s;
+}
+
+void CommAccounting::Merge(const CommAccounting& other) {
+  for (size_t i = 0; i < kMessageTypeCount; ++i) {
+    messages_[i] += other.messages_[i];
+    packets_[i] += other.packets_[i];
+    values_[i] += other.values_[i];
+  }
+}
+
+}  // namespace mpn

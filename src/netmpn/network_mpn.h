@@ -1,0 +1,99 @@
+// Meeting Point Notification in road-network space (Section 8 extension).
+//
+// Users and POIs live on network edges; distances are shortest-path
+// lengths. The optimal meeting point minimizes the MAX or SUM of network
+// distances; safe regions are *metric balls* of radius
+//   rmax = (d2 - d1) / 2        (MAX)
+//   rmax = (d2 - d1) / (2 m)    (SUM)
+// materialized as road-segment interval sets. Soundness follows from the
+// Theorem-1/5 proofs, which only use the triangle inequality and therefore
+// hold in any metric space.
+//
+// Also ships a network trajectory generator (random-waypoint shortest-path
+// movement tracked as edge positions) and a small continuous-notification
+// simulator mirroring sim/simulator.h, so the extension can be evaluated
+// with the same update-frequency methodology as the planar system.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "index/gnn.h"  // Objective
+#include "netmpn/network_space.h"
+#include "util/rng.h"
+
+namespace mpn {
+
+/// Result of one network safe-region computation.
+struct NetworkMpnResult {
+  uint32_t po_index = 0;   ///< index into the POI vector
+  double po_agg = 0.0;     ///< aggregate network distance of the optimum
+  double second_agg = 0.0; ///< aggregate of the runner-up
+  double rmax = 0.0;       ///< metric-ball radius
+  std::vector<NetworkBall> regions;  ///< one ball per user
+};
+
+/// Network-space MPN engine.
+class NetworkMpn {
+ public:
+  /// The space must outlive the engine; POIs are fixed at construction.
+  NetworkMpn(const NetworkSpace* space, std::vector<EdgePosition> pois);
+
+  const std::vector<EdgePosition>& pois() const { return pois_; }
+
+  /// Aggregate network distance of POI `j` to the users, given per-user
+  /// node-distance tables.
+  double AggNetworkDist(size_t poi_index,
+                        const std::vector<std::vector<double>>& node_dists,
+                        const std::vector<EdgePosition>& users,
+                        Objective obj) const;
+
+  /// Computes the optimal meeting point and metric-ball safe regions.
+  /// Runs one Dijkstra per user and scans the POIs (exact).
+  NetworkMpnResult Compute(const std::vector<EdgePosition>& users,
+                           Objective obj) const;
+
+ private:
+  const NetworkSpace* space_;
+  std::vector<EdgePosition> pois_;
+};
+
+/// A trajectory over the network: one edge position per timestamp.
+struct NetworkTrajectory {
+  std::vector<EdgePosition> positions;
+  size_t size() const { return positions.size(); }
+};
+
+/// Random-waypoint movement along shortest paths (the Brinkhoff model in
+/// network coordinates).
+NetworkTrajectory GenerateNetworkTrajectory(const NetworkSpace& space,
+                                            const RoadNetwork& network,
+                                            double speed, size_t timestamps,
+                                            Rng* rng);
+
+/// Samples a uniform-ish random edge position.
+EdgePosition RandomEdgePosition(const NetworkSpace& space, Rng* rng);
+
+/// Metrics of a network MPN simulation run.
+struct NetworkSimMetrics {
+  size_t timestamps = 0;
+  size_t updates = 0;
+  size_t result_changes = 0;
+  size_t region_values = 0;  ///< total safe-region values shipped
+
+  double UpdateFrequency() const {
+    return timestamps == 0
+               ? 0.0
+               : static_cast<double>(updates) / static_cast<double>(timestamps);
+  }
+};
+
+/// Runs the continuous-notification protocol over network trajectories with
+/// metric-ball safe regions. With `check_correctness` every recomputation is
+/// validated against an exhaustive scan.
+NetworkSimMetrics SimulateNetworkMpn(
+    const NetworkSpace& space, const NetworkMpn& engine,
+    const std::vector<const NetworkTrajectory*>& group, Objective obj,
+    bool check_correctness = false);
+
+}  // namespace mpn

@@ -1,0 +1,177 @@
+#include "netmpn/network_space.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace mpn {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// NetworkBall
+// ---------------------------------------------------------------------------
+
+void NetworkBall::AddSegment(uint32_t edge_id, double lo, double hi) {
+  if (hi < lo) return;  // degenerate point intervals are kept (radius 0)
+  segments_.push_back({edge_id, lo, hi});
+  finalized_ = false;
+}
+
+void NetworkBall::Finalize() {
+  std::sort(segments_.begin(), segments_.end(),
+            [](const Segment& x, const Segment& y) {
+              if (x.edge_id != y.edge_id) return x.edge_id < y.edge_id;
+              return x.lo < y.lo;
+            });
+  std::vector<Segment> merged;
+  for (const Segment& s : segments_) {
+    if (!merged.empty() && merged.back().edge_id == s.edge_id &&
+        s.lo <= merged.back().hi) {
+      merged.back().hi = std::max(merged.back().hi, s.hi);
+    } else {
+      merged.push_back(s);
+    }
+  }
+  segments_ = std::move(merged);
+  finalized_ = true;
+}
+
+bool NetworkBall::Contains(const EdgePosition& pos, double eps) const {
+  MPN_DCHECK(finalized_);
+  // Binary search to the first segment of this edge.
+  const Segment probe{pos.edge_id, pos.offset, pos.offset};
+  auto it = std::lower_bound(
+      segments_.begin(), segments_.end(), probe,
+      [](const Segment& x, const Segment& y) {
+        if (x.edge_id != y.edge_id) return x.edge_id < y.edge_id;
+        return x.hi < y.lo;  // strictly before
+      });
+  for (; it != segments_.end() && it->edge_id == pos.edge_id; ++it) {
+    if (pos.offset >= it->lo - eps && pos.offset <= it->hi + eps) return true;
+    if (it->lo > pos.offset + eps) break;
+  }
+  return false;
+}
+
+double NetworkBall::TotalLength() const {
+  double total = 0.0;
+  for (const Segment& s : segments_) total += s.hi - s.lo;
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// NetworkSpace
+// ---------------------------------------------------------------------------
+
+NetworkSpace::NetworkSpace(const RoadNetwork* network) : network_(network) {
+  MPN_ASSERT(network_ != nullptr);
+  incident_.resize(network_->NodeCount());
+  for (uint32_t a = 0; a < network_->NodeCount(); ++a) {
+    for (const auto& [b, w] : network_->Neighbors(a)) {
+      if (a < b) {
+        const uint32_t id = static_cast<uint32_t>(edges_.size());
+        edges_.push_back({a, b, w});
+        incident_[a].push_back(id);
+        incident_[b].push_back(id);
+      }
+    }
+  }
+}
+
+Point NetworkSpace::ToEuclidean(const EdgePosition& pos) const {
+  const Edge& e = edges_[pos.edge_id];
+  const Point pa = network_->NodePos(e.a);
+  const Point pb = network_->NodePos(e.b);
+  const double t = e.length > 0 ? pos.offset / e.length : 0.0;
+  return pa + (pb - pa) * t;
+}
+
+bool NetworkSpace::IsValid(const EdgePosition& pos) const {
+  return pos.edge_id < edges_.size() && pos.offset >= -1e-9 &&
+         pos.offset <= edges_[pos.edge_id].length + 1e-9;
+}
+
+uint32_t NetworkSpace::EdgeBetween(uint32_t a, uint32_t b) const {
+  if (a > b) std::swap(a, b);
+  for (uint32_t id : incident_[a]) {
+    if (edges_[id].a == a && edges_[id].b == b) return id;
+  }
+  MPN_ASSERT_MSG(false, "no edge between the given nodes");
+  return 0;
+}
+
+std::vector<double> NetworkSpace::NodeDistancesFrom(
+    const EdgePosition& src) const {
+  MPN_DCHECK(IsValid(src));
+  std::vector<double> dist(network_->NodeCount(), kInf);
+  using QE = std::pair<double, uint32_t>;
+  std::priority_queue<QE, std::vector<QE>, std::greater<QE>> pq;
+  const Edge& e = edges_[src.edge_id];
+  dist[e.a] = src.offset;
+  dist[e.b] = e.length - src.offset;
+  pq.push({dist[e.a], e.a});
+  pq.push({dist[e.b], e.b});
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[u]) continue;
+    for (const auto& [v, w] : network_->Neighbors(u)) {
+      const double nd = d + w;
+      if (nd < dist[v]) {
+        dist[v] = nd;
+        pq.push({nd, v});
+      }
+    }
+  }
+  return dist;
+}
+
+double NetworkSpace::DistanceVia(const std::vector<double>& node_dist,
+                                 const EdgePosition& src,
+                                 const EdgePosition& dst) const {
+  const Edge& e = edges_[dst.edge_id];
+  double d = std::min(node_dist[e.a] + dst.offset,
+                      node_dist[e.b] + (e.length - dst.offset));
+  if (dst.edge_id == src.edge_id) {
+    d = std::min(d, std::abs(dst.offset - src.offset));
+  }
+  return d;
+}
+
+double NetworkSpace::Distance(const EdgePosition& a,
+                              const EdgePosition& b) const {
+  return DistanceVia(NodeDistancesFrom(a), a, b);
+}
+
+NetworkBall NetworkSpace::Ball(const EdgePosition& center,
+                               double radius) const {
+  NetworkBall ball;
+  if (radius < 0.0) {
+    ball.Finalize();
+    return ball;
+  }
+  const std::vector<double> nd = NodeDistancesFrom(center);
+  for (uint32_t id = 0; id < edges_.size(); ++id) {
+    const Edge& e = edges_[id];
+    // Coverage reached from endpoint a.
+    if (nd[e.a] <= radius) {
+      ball.AddSegment(id, 0.0, std::min(e.length, radius - nd[e.a]));
+    }
+    // Coverage reached from endpoint b.
+    if (nd[e.b] <= radius) {
+      ball.AddSegment(id, std::max(0.0, e.length - (radius - nd[e.b])),
+                      e.length);
+    }
+  }
+  // Direct coverage of the center's own edge.
+  ball.AddSegment(center.edge_id, std::max(0.0, center.offset - radius),
+                  std::min(edges_[center.edge_id].length,
+                           center.offset + radius));
+  ball.Finalize();
+  return ball;
+}
+
+}  // namespace mpn

@@ -1,0 +1,116 @@
+// Road-network metric space (the paper's Section-8 future-work extension).
+//
+// Positions live on network edges; distances are shortest-path lengths.
+// The key observation enabling the extension is that Theorems 1 and 5 only
+// use the triangle inequality, so they hold verbatim in the network metric:
+// the Circle-MSR analogue assigns each user the *metric ball* of radius
+// rmax = (d2 - d1)/2 (MAX) or (d2 - d1)/(2m) (SUM), materialized as a set
+// of road-segment intervals ("a range search region over road segments",
+// exactly as the paper sketches).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "traj/road_network.h"
+#include "util/macros.h"
+
+namespace mpn {
+
+/// A position on a road network: an offset along an (undirected) edge.
+struct EdgePosition {
+  uint32_t edge_id = 0;
+  double offset = 0.0;  ///< distance from the edge's endpoint `a`, in [0, len]
+};
+
+/// A union of intervals over network edges; the shape of network safe
+/// regions (metric balls).
+class NetworkBall {
+ public:
+  /// One covered stretch of an edge.
+  struct Segment {
+    uint32_t edge_id;
+    double lo;
+    double hi;
+  };
+
+  /// Adds a raw interval (merged lazily by Finalize).
+  void AddSegment(uint32_t edge_id, double lo, double hi);
+
+  /// Sorts and merges overlapping intervals per edge. Must be called after
+  /// the last AddSegment and before queries.
+  void Finalize();
+
+  /// Closed containment with tolerance `eps` (movement sampling lands on
+  /// interval endpoints).
+  bool Contains(const EdgePosition& pos, double eps = 1e-9) const;
+
+  /// Total covered road length.
+  double TotalLength() const;
+
+  size_t SegmentCount() const { return segments_.size(); }
+  const std::vector<Segment>& segments() const { return segments_; }
+
+  /// Number of 8-byte values to ship the region (edge id + two offsets per
+  /// segment, packed as 2 values).
+  size_t ValueCount() const { return 2 * segments_.size(); }
+
+ private:
+  std::vector<Segment> segments_;  // sorted by (edge_id, lo) after Finalize
+  bool finalized_ = false;
+};
+
+/// Edge-indexed view of a RoadNetwork with shortest-path machinery for
+/// edge positions.
+class NetworkSpace {
+ public:
+  struct Edge {
+    uint32_t a;
+    uint32_t b;
+    double length;
+  };
+
+  /// The network must outlive the space. Builds the edge table (undirected
+  /// edges deduplicated with a < b).
+  explicit NetworkSpace(const RoadNetwork* network);
+
+  size_t EdgeCount() const { return edges_.size(); }
+  size_t NodeCount() const { return network_->NodeCount(); }
+  const Edge& edge(uint32_t id) const { return edges_[id]; }
+
+  /// Euclidean embedding of a network position (for visualization).
+  Point ToEuclidean(const EdgePosition& pos) const;
+
+  /// Validates an edge position (offset within the edge).
+  bool IsValid(const EdgePosition& pos) const;
+
+  /// Shortest network distance from `src` to every node (Dijkstra seeded
+  /// with both endpoints of the source edge).
+  std::vector<double> NodeDistancesFrom(const EdgePosition& src) const;
+
+  /// Shortest network distance between two edge positions (accounts for the
+  /// direct in-edge path when both lie on the same edge).
+  double Distance(const EdgePosition& a, const EdgePosition& b) const;
+
+  /// Distance from a position to a target, given precomputed node distances
+  /// from the source (`node_dist = NodeDistancesFrom(src)`), plus the
+  /// source position for the same-edge shortcut.
+  double DistanceVia(const std::vector<double>& node_dist,
+                     const EdgePosition& src, const EdgePosition& dst) const;
+
+  /// Metric ball of `radius` around `center`, materialized as road-segment
+  /// intervals (Finalize already called).
+  NetworkBall Ball(const EdgePosition& center, double radius) const;
+
+  /// Edge id connecting nodes a and b; asserts existence.
+  uint32_t EdgeBetween(uint32_t a, uint32_t b) const;
+
+ private:
+  const RoadNetwork* network_;
+  std::vector<Edge> edges_;
+  // node -> incident (edge id) list
+  std::vector<std::vector<uint32_t>> incident_;
+  // dense lookup (a,b) -> edge id via per-node sorted neighbor lists
+};
+
+}  // namespace mpn

@@ -1,0 +1,44 @@
+#include "sim/client.h"
+
+#include <algorithm>
+
+#include "util/macros.h"
+
+namespace mpn {
+
+MpnClient::MpnClient(const Trajectory* trajectory, Options options)
+    : trajectory_(trajectory), options_(options) {
+  MPN_ASSERT(trajectory_ != nullptr && trajectory_->size() > 0);
+  location_ = trajectory_->at(0);
+}
+
+void MpnClient::Advance(size_t t) {
+  MPN_ASSERT(t < trajectory_->size());
+  const Point next = trajectory_->at(t);
+  const Vec2 step = next - location_;
+  if (step.Norm2() > 0.0) {
+    heading_ = step.Angle();
+    moved_ = true;
+    recent_headings_.push_back(heading_);
+    while (recent_headings_.size() >
+           static_cast<size_t>(options_.heading_window)) {
+      recent_headings_.pop_front();
+    }
+  }
+  location_ = next;
+}
+
+MotionHint MpnClient::Hint() const {
+  MotionHint hint;
+  if (!moved_) return hint;
+  hint.has_heading = true;
+  hint.heading = heading_;
+  double dev = 0.0;
+  for (double h : recent_headings_) {
+    dev = std::max(dev, AngleDiff(h, heading_));
+  }
+  hint.theta = std::clamp(dev, options_.theta_min, options_.theta_max);
+  return hint;
+}
+
+}  // namespace mpn

@@ -1,0 +1,74 @@
+// Client-side state of the Fig. 3 protocol.
+//
+// A client replays its trajectory, checks containment in its current safe
+// region every timestamp, and maintains the motion statistics (heading and
+// learned angular deviation theta) that the server's directed ordering
+// consumes (Section 5.2).
+#pragma once
+
+#include <deque>
+
+#include "mpn/safe_region.h"
+#include "mpn/tile_msr.h"
+#include "traj/trajectory.h"
+
+namespace mpn {
+
+/// One moving user.
+class MpnClient {
+ public:
+  struct Options {
+    /// Recent headings used to learn theta.
+    int heading_window = 8;
+    /// Clamp bounds for the learned deviation (radians).
+    double theta_min = 0.26179938779914941;  // 15 degrees
+    double theta_max = 3.14159265358979312;  // 180 degrees
+  };
+
+  /// The trajectory must outlive the client (default options).
+  explicit MpnClient(const Trajectory* trajectory)
+      : MpnClient(trajectory, Options()) {}
+
+  /// The trajectory must outlive the client.
+  MpnClient(const Trajectory* trajectory, Options options);
+
+  /// Moves to timestamp `t` and updates motion statistics.
+  void Advance(size_t t);
+
+  /// Current location.
+  const Point& location() const { return location_; }
+
+  /// True when the client holds a region and is inside it.
+  bool InsideRegion() const {
+    return has_region_ && region_.Contains(location_);
+  }
+
+  /// True after the first SetRegion call.
+  bool has_region() const { return has_region_; }
+
+  /// Installs a freshly received safe region.
+  void SetRegion(SafeRegion region) {
+    region_ = std::move(region);
+    has_region_ = true;
+  }
+
+  const SafeRegion& region() const { return region_; }
+
+  /// Motion hint shipped with location reports: current heading and the
+  /// maximum deviation observed over the recent window, clamped to
+  /// [theta_min, theta_max]. has_heading is false until the client has
+  /// moved.
+  MotionHint Hint() const;
+
+ private:
+  const Trajectory* trajectory_;
+  Options options_;
+  Point location_;
+  SafeRegion region_;
+  bool has_region_ = false;
+  bool moved_ = false;
+  double heading_ = 0.0;
+  std::deque<double> recent_headings_;
+};
+
+}  // namespace mpn

@@ -1,0 +1,70 @@
+#include "sim/server.h"
+
+#include "mpn/circle_msr.h"
+#include "util/macros.h"
+
+namespace mpn {
+
+namespace {
+
+void Accumulate(MsrStats* into, const MsrStats& s) {
+  into->tiles_tried += s.tiles_tried;
+  into->tiles_added += s.tiles_added;
+  into->divide_calls += s.divide_calls;
+  into->verify.calls += s.verify.calls;
+  into->verify.accepted += s.verify.accepted;
+  into->verify.tile_groups += s.verify.tile_groups;
+  into->verify.focal_evals += s.verify.focal_evals;
+  into->verify.memo_hits += s.verify.memo_hits;
+  into->candidates.retrievals += s.candidates.retrievals;
+  into->candidates.candidates_total += s.candidates.candidates_total;
+  into->candidates.rejected_by_buffer += s.candidates.rejected_by_buffer;
+  into->rtree_node_accesses += s.rtree_node_accesses;
+}
+
+}  // namespace
+
+const char* MethodName(Method method) {
+  switch (method) {
+    case Method::kCircle: return "Circle";
+    case Method::kTile: return "Tile";
+    case Method::kTileD: return "Tile-D";
+    case Method::kTileDBuffered: return "Tile-D-b";
+  }
+  return "?";
+}
+
+MpnServer::MpnServer(const std::vector<Point>* pois, const RTree* tree,
+                     const ServerConfig& config)
+    : pois_(pois), tree_(tree), config_(config) {
+  MPN_ASSERT(pois_ != nullptr && tree_ != nullptr);
+  MPN_ASSERT(pois_->size() == tree_->size());
+}
+
+MsrResult MpnServer::Recompute(const std::vector<Point>& locations,
+                               const std::vector<MotionHint>& hints) {
+  Timer timer;
+  MsrResult result;
+  if (config_.method == Method::kCircle) {
+    const CircleMsrResult c = ComputeCircleMsr(*tree_, locations,
+                                               config_.objective);
+    result.po_id = c.po_id;
+    result.po = c.po;
+    result.po_agg = c.po_agg;
+    result.regions = c.regions;
+  } else {
+    TileMsrConfig tc;
+    tc.alpha = config_.alpha;
+    tc.split_level = config_.split_level;
+    tc.buffer_b = config_.buffer_b;
+    tc.directed = config_.method != Method::kTile;
+    tc.buffered = config_.method == Method::kTileDBuffered;
+    result = ComputeTileMsr(*tree_, locations, config_.objective, tc, hints);
+  }
+  compute_seconds_ += timer.ElapsedSeconds();
+  ++recompute_count_;
+  Accumulate(&stats_, result.stats);
+  return result;
+}
+
+}  // namespace mpn

@@ -1,0 +1,65 @@
+// Server-side safe-region computation dispatch (Fig. 3, step 3).
+#pragma once
+
+#include <vector>
+
+#include "index/gnn.h"
+#include "mpn/tile_msr.h"
+#include "util/timer.h"
+
+namespace mpn {
+
+/// The method configurations evaluated in Section 7.
+enum class Method {
+  kCircle,        ///< Circle-MSR (Section 4)
+  kTile,          ///< Tile-MSR, undirected ordering, GT-Verify + pruning
+  kTileD,         ///< Tile-MSR, directed ordering
+  kTileDBuffered  ///< Tile-D with the Section-5.4 buffering (Tile-D-b)
+};
+
+/// Method name as used in the paper's plots.
+const char* MethodName(Method method);
+
+/// Server configuration.
+struct ServerConfig {
+  Method method = Method::kTileD;
+  Objective objective = Objective::kMax;
+  int alpha = 30;      ///< Table 2 default
+  int split_level = 2; ///< Table 2 default
+  int buffer_b = 100;  ///< Section 5.4 recommendation
+};
+
+/// The application server: owns nothing, computes safe regions on demand.
+class MpnServer {
+ public:
+  /// `pois`/`tree` must outlive the server.
+  MpnServer(const std::vector<Point>* pois, const RTree* tree,
+            const ServerConfig& config);
+
+  /// Recomputes the meeting point and all safe regions from the probed user
+  /// locations (+ motion hints for directed orderings). Timing and algorithm
+  /// statistics accumulate across calls.
+  MsrResult Recompute(const std::vector<Point>& locations,
+                      const std::vector<MotionHint>& hints);
+
+  const ServerConfig& config() const { return config_; }
+
+  /// Total wall-clock seconds spent inside Recompute.
+  double compute_seconds() const { return compute_seconds_; }
+
+  /// Number of Recompute calls.
+  size_t recompute_count() const { return recompute_count_; }
+
+  /// Aggregated per-call statistics.
+  const MsrStats& stats() const { return stats_; }
+
+ private:
+  const std::vector<Point>* pois_;
+  const RTree* tree_;
+  ServerConfig config_;
+  double compute_seconds_ = 0.0;
+  size_t recompute_count_ = 0;
+  MsrStats stats_;
+};
+
+}  // namespace mpn

@@ -1,0 +1,232 @@
+#include "traj/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/macros.h"
+
+namespace mpn {
+
+Trajectory BrinkhoffGenerator::Generate(size_t timestamps, Rng* rng,
+                                        const Point* start_near) const {
+  MPN_ASSERT(network_->NodeCount() >= 2);
+  const double speed = rng->Uniform(options_.min_speed, options_.max_speed);
+  Trajectory out;
+  out.positions.reserve(timestamps);
+
+  uint32_t node;
+  if (start_near != nullptr) {
+    node = 0;
+    double best = Dist(network_->NodePos(0), *start_near);
+    for (uint32_t v = 1; v < network_->NodeCount(); ++v) {
+      const double d = Dist(network_->NodePos(v), *start_near);
+      if (d < best) {
+        best = d;
+        node = v;
+      }
+    }
+  } else {
+    node = static_cast<uint32_t>(
+        rng->UniformInt(0, static_cast<int64_t>(network_->NodeCount()) - 1));
+  }
+  std::vector<uint32_t> path;   // remaining nodes of the current route
+  size_t path_pos = 0;
+  Point pos = network_->NodePos(node);
+  double leg_remaining = 0.0;   // distance left on the current edge
+  Point leg_dir{0, 0};
+  Point leg_target = pos;
+
+  auto pick_route = [&]() {
+    // Choose a fresh random destination reachable from `node`.
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      const uint32_t dst = static_cast<uint32_t>(rng->UniformInt(
+          0, static_cast<int64_t>(network_->NodeCount()) - 1));
+      if (dst == node) continue;
+      path = network_->ShortestPath(node, dst);
+      if (path.size() >= 2) {
+        path_pos = 1;  // path[0] == node
+        return;
+      }
+    }
+    path.clear();  // isolated node: stand still (cannot happen, connected)
+  };
+
+  auto next_leg = [&]() -> bool {
+    if (path_pos >= path.size()) return false;
+    const uint32_t nxt = path[path_pos++];
+    leg_target = network_->NodePos(nxt);
+    leg_remaining = Dist(pos, leg_target);
+    leg_dir = (leg_target - pos).Normalized();
+    node = nxt;
+    return true;
+  };
+
+  pick_route();
+  next_leg();
+  for (size_t t = 0; t < timestamps; ++t) {
+    out.positions.push_back(pos);
+    double budget = speed;
+    while (budget > 0.0) {
+      if (leg_remaining <= budget) {
+        budget -= leg_remaining;
+        pos = leg_target;
+        leg_remaining = 0.0;
+        if (!next_leg()) {
+          pick_route();
+          if (!next_leg()) {
+            budget = 0.0;  // stuck (no route): dwell at the node
+          }
+        }
+      } else {
+        pos += leg_dir * budget;
+        leg_remaining -= budget;
+        budget = 0.0;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Trajectory> BrinkhoffGenerator::GenerateFleet(size_t count,
+                                                          size_t timestamps,
+                                                          Rng* rng) const {
+  std::vector<Trajectory> fleet;
+  fleet.reserve(count);
+  for (size_t i = 0; i < count; ++i) fleet.push_back(Generate(timestamps, rng));
+  return fleet;
+}
+
+std::vector<Trajectory> BrinkhoffGenerator::GenerateGroupedFleet(
+    size_t count, size_t block, double spread, size_t timestamps,
+    Rng* rng) const {
+  std::vector<Trajectory> fleet;
+  fleet.reserve(count);
+  const Rect world = network_->Bounds();
+  Point center{0, 0};
+  for (size_t i = 0; i < count; ++i) {
+    if (i % block == 0) {
+      center = {rng->Uniform(world.lo.x, world.hi.x),
+                rng->Uniform(world.lo.y, world.hi.y)};
+    }
+    const Point start{center.x + rng->Uniform(-spread, spread),
+                      center.y + rng->Uniform(-spread, spread)};
+    fleet.push_back(Generate(timestamps, rng, &start));
+  }
+  return fleet;
+}
+
+Trajectory RandomWalkGenerator::Generate(size_t timestamps, Rng* rng,
+                                         const Point* start) const {
+  Trajectory out;
+  out.positions.reserve(timestamps);
+  Point pos = start != nullptr
+                  ? Point{std::clamp(start->x, world().lo.x, world().hi.x),
+                          std::clamp(start->y, world().lo.y, world().hi.y)}
+                  : Point{rng->Uniform(world().lo.x, world().hi.x),
+                          rng->Uniform(world().lo.y, world().hi.y)};
+  double heading = rng->Uniform(-3.14159265358979, 3.14159265358979);
+  int dwell = 0;
+  for (size_t t = 0; t < timestamps; ++t) {
+    out.positions.push_back(pos);
+    if (dwell > 0) {
+      --dwell;
+      continue;
+    }
+    if (rng->Bernoulli(options_.dwell_prob)) {
+      dwell = static_cast<int>(
+          rng->UniformInt(options_.dwell_min, options_.dwell_max));
+      continue;
+    }
+    heading = NormalizeAngle(heading +
+                             rng->Gaussian(0.0, options_.heading_sigma));
+    const double speed = std::max(
+        0.0, options_.mean_speed *
+                 (1.0 + rng->Gaussian(0.0, options_.speed_jitter)));
+    Point next = pos + UnitFromAngle(heading) * speed;
+    // Reflect at the world boundary.
+    if (next.x < world().lo.x || next.x > world().hi.x) {
+      heading = NormalizeAngle(3.14159265358979 - heading);
+      next.x = std::clamp(next.x, world().lo.x, world().hi.x);
+    }
+    if (next.y < world().lo.y || next.y > world().hi.y) {
+      heading = NormalizeAngle(-heading);
+      next.y = std::clamp(next.y, world().lo.y, world().hi.y);
+    }
+    pos = next;
+  }
+  return out;
+}
+
+std::vector<Trajectory> RandomWalkGenerator::GenerateFleet(size_t count,
+                                                           size_t timestamps,
+                                                           Rng* rng) const {
+  std::vector<Trajectory> fleet;
+  fleet.reserve(count);
+  for (size_t i = 0; i < count; ++i) fleet.push_back(Generate(timestamps, rng));
+  return fleet;
+}
+
+std::vector<Trajectory> RandomWalkGenerator::GenerateGroupedFleet(
+    size_t count, size_t block, double spread, size_t timestamps,
+    Rng* rng) const {
+  std::vector<Trajectory> fleet;
+  fleet.reserve(count);
+  Point center{0, 0};
+  for (size_t i = 0; i < count; ++i) {
+    if (i % block == 0) {
+      center = {rng->Uniform(world().lo.x, world().hi.x),
+                rng->Uniform(world().lo.y, world().hi.y)};
+    }
+    const Point start{center.x + rng->Uniform(-spread, spread),
+                      center.y + rng->Uniform(-spread, spread)};
+    fleet.push_back(Generate(timestamps, rng, &start));
+  }
+  return fleet;
+}
+
+std::vector<Point> GeneratePois(size_t n, const PoiOptions& options,
+                                Rng* rng) {
+  std::vector<Point> pois;
+  pois.reserve(n);
+  const Rect& world = options.world;
+  // Cluster centers and relative weights.
+  std::vector<Point> centers;
+  std::vector<double> weights;
+  for (int c = 0; c < options.clusters; ++c) {
+    centers.push_back({rng->Uniform(world.lo.x, world.hi.x),
+                       rng->Uniform(world.lo.y, world.hi.y)});
+    weights.push_back(rng->Uniform(0.2, 1.0));
+  }
+  const double sigma = options.cluster_sigma_frac * world.Width();
+  for (size_t i = 0; i < n; ++i) {
+    Point p;
+    if (options.clusters == 0 || rng->Bernoulli(options.background_frac)) {
+      p = {rng->Uniform(world.lo.x, world.hi.x),
+           rng->Uniform(world.lo.y, world.hi.y)};
+    } else {
+      const size_t c = rng->WeightedIndex(weights);
+      p = {centers[c].x + rng->Gaussian(0.0, sigma),
+           centers[c].y + rng->Gaussian(0.0, sigma)};
+      p.x = std::clamp(p.x, world.lo.x, world.hi.x);
+      p.y = std::clamp(p.y, world.lo.y, world.hi.y);
+    }
+    pois.push_back(p);
+  }
+  return pois;
+}
+
+std::vector<std::vector<const Trajectory*>> MakeGroups(
+    const std::vector<Trajectory>& trajectories, size_t m, size_t block) {
+  MPN_ASSERT(m >= 1 && m <= block);
+  std::vector<std::vector<const Trajectory*>> groups;
+  for (size_t start = 0; start + block <= trajectories.size();
+       start += block) {
+    std::vector<const Trajectory*> group;
+    group.reserve(m);
+    for (size_t i = 0; i < m; ++i) group.push_back(&trajectories[start + i]);
+    groups.push_back(std::move(group));
+  }
+  return groups;
+}
+
+}  // namespace mpn

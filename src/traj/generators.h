@@ -1,0 +1,110 @@
+// Trajectory and POI generators (Section 7.1 data substitutes).
+//
+//  * BrinkhoffGenerator — network-constrained movement ("Oldenburg"):
+//    random-waypoint routing over shortest paths of a RoadNetwork with
+//    per-object speed classes.
+//  * RandomWalkGenerator — smooth correlated random walk ("GeoLife"-like
+//    taxi traces): bounded per-step heading deviation, speed jitter,
+//    occasional dwells, reflection at the world boundary. Reproduces the
+//    bounded-angular-deviation property the directed ordering exploits.
+//  * GeneratePois — clustered POI set standing in for the pocketgpsworld
+//    UK data set (N = 21,287 by default): Gaussian clusters over a uniform
+//    background, mimicking the density skew of real POI data.
+#pragma once
+
+#include <vector>
+
+#include "geom/rect.h"
+#include "traj/road_network.h"
+#include "traj/trajectory.h"
+#include "util/rng.h"
+
+namespace mpn {
+
+/// Brinkhoff-style network-based generator.
+class BrinkhoffGenerator {
+ public:
+  struct Options {
+    double min_speed = 60.0;   ///< distance units per timestamp
+    double max_speed = 140.0;  ///< per-object speed drawn uniformly
+  };
+
+  /// The network must outlive the generator.
+  BrinkhoffGenerator(const RoadNetwork* network, Options options)
+      : network_(network), options_(options) {}
+
+  /// One object's trajectory of `timestamps` samples. When `start_near` is
+  /// non-null the object begins at the network node closest to it (user
+  /// groups in the MPN workloads start co-located, like the paper's
+  /// per-city trajectory sets).
+  Trajectory Generate(size_t timestamps, Rng* rng,
+                      const Point* start_near = nullptr) const;
+
+  /// A fleet of `count` trajectories.
+  std::vector<Trajectory> GenerateFleet(size_t count, size_t timestamps,
+                                        Rng* rng) const;
+
+  /// A fleet whose consecutive blocks of `block` objects start near a common
+  /// random point with per-object jitter `spread`.
+  std::vector<Trajectory> GenerateGroupedFleet(size_t count, size_t block,
+                                               double spread,
+                                               size_t timestamps,
+                                               Rng* rng) const;
+
+ private:
+  const RoadNetwork* network_;
+  Options options_;
+};
+
+/// Smooth correlated random walk ("GeoLife"-like).
+class RandomWalkGenerator {
+ public:
+  struct Options {
+    Rect world = Rect({0.0, 0.0}, {100000.0, 100000.0});
+    double mean_speed = 100.0;    ///< distance units per timestamp
+    double speed_jitter = 0.25;   ///< relative stddev of speed
+    double heading_sigma = 0.15;  ///< per-step heading deviation (radians)
+    double dwell_prob = 0.002;    ///< chance to start a dwell each step
+    int dwell_min = 5;            ///< dwell length range (timestamps)
+    int dwell_max = 40;
+  };
+
+  explicit RandomWalkGenerator(Options options) : options_(options) {}
+
+  /// One walk; starts at `start` when non-null, else uniformly in the world.
+  Trajectory Generate(size_t timestamps, Rng* rng,
+                      const Point* start = nullptr) const;
+  std::vector<Trajectory> GenerateFleet(size_t count, size_t timestamps,
+                                        Rng* rng) const;
+
+  /// A fleet whose consecutive blocks of `block` walks start near a common
+  /// random point with per-object jitter `spread`.
+  std::vector<Trajectory> GenerateGroupedFleet(size_t count, size_t block,
+                                               double spread,
+                                               size_t timestamps,
+                                               Rng* rng) const;
+
+ private:
+  const Rect& world() const { return options_.world; }
+  Options options_;
+};
+
+/// Options for the clustered POI synthesizer.
+struct PoiOptions {
+  Rect world = Rect({0.0, 0.0}, {100000.0, 100000.0});
+  int clusters = 40;
+  double cluster_sigma_frac = 0.02;  ///< cluster stddev / world width
+  double background_frac = 0.25;     ///< fraction drawn uniformly
+};
+
+/// Generates `n` POIs (clusters + uniform background), clipped to the world.
+std::vector<Point> GeneratePois(size_t n, const PoiOptions& options, Rng* rng);
+
+/// Partitions `trajectories` into groups of size m: group g takes the first
+/// m members of the g-th consecutive block of `block` trajectories
+/// (the paper splits 60 trajectories into 10 groups of 6 and uses the first
+/// m per group).
+std::vector<std::vector<const Trajectory*>> MakeGroups(
+    const std::vector<Trajectory>& trajectories, size_t m, size_t block);
+
+}  // namespace mpn

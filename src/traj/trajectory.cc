@@ -1,0 +1,41 @@
+#include "traj/trajectory.h"
+
+#include <algorithm>
+
+#include "util/macros.h"
+
+namespace mpn {
+
+Trajectory RescaleSpeed(const Trajectory& traj, double x, size_t n_samples) {
+  MPN_ASSERT(x > 0.0 && x <= 1.0);
+  MPN_ASSERT(traj.size() >= 2);
+  const size_t prefix = std::max<size_t>(
+      2, static_cast<size_t>(x * static_cast<double>(traj.size())));
+  // Cumulative arc length over the prefix.
+  std::vector<double> cum(prefix, 0.0);
+  for (size_t i = 1; i < prefix; ++i) {
+    cum[i] = cum[i - 1] + Dist(traj.positions[i - 1], traj.positions[i]);
+  }
+  const double total = cum.back();
+  Trajectory out;
+  out.positions.reserve(n_samples);
+  if (total <= 0.0) {
+    out.positions.assign(n_samples, traj.positions[0]);
+    return out;
+  }
+  size_t seg = 1;
+  for (size_t k = 0; k < n_samples; ++k) {
+    const double target =
+        total * static_cast<double>(k) / static_cast<double>(n_samples - 1);
+    while (seg < prefix - 1 && cum[seg] < target) ++seg;
+    const double seg_len = cum[seg] - cum[seg - 1];
+    const double frac =
+        seg_len > 0.0 ? (target - cum[seg - 1]) / seg_len : 0.0;
+    const Point a = traj.positions[seg - 1];
+    const Point b = traj.positions[seg];
+    out.positions.push_back(a + (b - a) * std::clamp(frac, 0.0, 1.0));
+  }
+  return out;
+}
+
+}  // namespace mpn

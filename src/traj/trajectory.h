@@ -1,0 +1,44 @@
+// Trajectories: one location per timestamp.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/vec2.h"
+
+namespace mpn {
+
+/// A sampled trajectory; positions[t] is the location at timestamp t.
+struct Trajectory {
+  std::vector<Point> positions;
+
+  size_t size() const { return positions.size(); }
+  const Point& at(size_t t) const { return positions[t]; }
+
+  /// Total polyline length.
+  double Length() const {
+    double len = 0.0;
+    for (size_t i = 1; i < positions.size(); ++i) {
+      len += Dist(positions[i - 1], positions[i]);
+    }
+    return len;
+  }
+
+  /// Maximum per-step displacement (the effective speed limit).
+  double MaxStep() const {
+    double s = 0.0;
+    for (size_t i = 1; i < positions.size(); ++i) {
+      s = std::max(s, Dist(positions[i - 1], positions[i]));
+    }
+    return s;
+  }
+};
+
+/// Rescales a trajectory to speed fraction `x` of the original, following
+/// the paper's protocol (Section 7.2, "Effect of user speed"): take the
+/// prefix of the path with x fraction of its timestamps and resample
+/// `n_samples` locations uniformly along that prefix polyline. The result
+/// has the same number of timestamps but x times the speed.
+Trajectory RescaleSpeed(const Trajectory& traj, double x, size_t n_samples);
+
+}  // namespace mpn

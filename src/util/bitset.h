@@ -1,0 +1,77 @@
+// Dynamically sized bitset backed by 64-bit words.
+//
+// Used by the tile-set lossless compression (mpn/compress.h), where the
+// number of 64-bit words is exactly the "values" count charged to the
+// communication-cost model.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/macros.h"
+
+namespace mpn {
+
+/// Fixed-size-after-construction bitset with word-level access.
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+
+  /// Creates a bitset of `size` bits, all zero.
+  explicit DynamicBitset(size_t size)
+      : size_(size), words_((size + 63) / 64, 0) {}
+
+  /// Number of bits.
+  size_t size() const { return size_; }
+
+  /// Number of backing 64-bit words.
+  size_t WordCount() const { return words_.size(); }
+
+  /// Sets bit i to 1.
+  void Set(size_t i) {
+    MPN_DCHECK(i < size_);
+    words_[i >> 6] |= (uint64_t{1} << (i & 63));
+  }
+
+  /// Clears bit i.
+  void Clear(size_t i) {
+    MPN_DCHECK(i < size_);
+    words_[i >> 6] &= ~(uint64_t{1} << (i & 63));
+  }
+
+  /// Tests bit i.
+  bool Test(size_t i) const {
+    MPN_DCHECK(i < size_);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  /// Number of set bits.
+  size_t Count() const {
+    size_t c = 0;
+    for (uint64_t w : words_) c += static_cast<size_t>(__builtin_popcountll(w));
+    return c;
+  }
+
+  /// Raw word access (for serialization).
+  const std::vector<uint64_t>& words() const { return words_; }
+
+  /// Replaces backing words; `size` bits must fit in `words`.
+  static DynamicBitset FromWords(std::vector<uint64_t> words, size_t size) {
+    MPN_ASSERT(words.size() == (size + 63) / 64);
+    DynamicBitset b;
+    b.size_ = size;
+    b.words_ = std::move(words);
+    return b;
+  }
+
+  bool operator==(const DynamicBitset& other) const {
+    return size_ == other.size_ && words_ == other.words_;
+  }
+
+ private:
+  size_t size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace mpn

@@ -1,0 +1,41 @@
+// Common macros: assertions and compiler hints.
+//
+// MPN_ASSERT is active in all build types (the library is a research
+// reproduction; correctness beats the last few percent of speed).
+// MPN_DCHECK compiles away in NDEBUG builds and is used on hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#define MPN_ASSERT(cond)                                                      \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::fprintf(stderr, "MPN_ASSERT failed: %s at %s:%d\n", #cond,         \
+                   __FILE__, __LINE__);                                       \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (0)
+
+#define MPN_ASSERT_MSG(cond, msg)                                             \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::fprintf(stderr, "MPN_ASSERT failed: %s (%s) at %s:%d\n", #cond,    \
+                   (msg), __FILE__, __LINE__);                                \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (0)
+
+#ifdef NDEBUG
+#define MPN_DCHECK(cond) ((void)0)
+#else
+#define MPN_DCHECK(cond) MPN_ASSERT(cond)
+#endif
+
+#if defined(__GNUC__) || defined(__clang__)
+#define MPN_LIKELY(x) __builtin_expect(!!(x), 1)
+#define MPN_UNLIKELY(x) __builtin_expect(!!(x), 0)
+#else
+#define MPN_LIKELY(x) (x)
+#define MPN_UNLIKELY(x) (x)
+#endif

@@ -1,0 +1,39 @@
+// Lightweight table formatting for the benchmark harness: prints aligned
+// paper-style series tables to stdout and mirrors them to CSV files.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mpn {
+
+/// Column-aligned text table with optional CSV export.
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; the cell count must match the header count.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  void AddRow(const std::vector<double>& cells, int precision = 4);
+
+  /// Renders the aligned table to a string.
+  std::string ToString() const;
+
+  /// Prints to stdout with a title line.
+  void Print(const std::string& title) const;
+
+  /// Writes the table as CSV to `path`. Returns false on I/O failure.
+  bool WriteCsv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper for mixed-type rows).
+std::string FormatDouble(double v, int precision = 4);
+
+}  // namespace mpn

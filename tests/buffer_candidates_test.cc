@@ -1,0 +1,184 @@
+// Candidate retrieval tests: Theorem 3 / Theorem 6 index pruning never drops
+// a point that could displace the optimum, and the Theorem 4 / Theorem 7
+// buffering thresholds are honored (Algorithm 5).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "mpn/candidates.h"
+#include "mpn/circle_msr.h"
+#include "msr_test_util.h"
+#include "util/rng.h"
+
+namespace mpn {
+namespace {
+
+using testutil::MakeScenario;
+using testutil::Scenario;
+
+// Builds simple one-tile regions of side `delta` centered on each user.
+std::vector<TileRegion> InitialRegions(const std::vector<Point>& users,
+                                       double delta) {
+  std::vector<TileRegion> regions;
+  for (const Point& u : users) {
+    regions.emplace_back(u, delta);
+    regions.back().Add(GridTile{0, 0, 0});
+  }
+  return regions;
+}
+
+class PruningSoundnessTest : public ::testing::TestWithParam<Objective> {};
+
+// Theorem 3 / 6 soundness: every POI *not* returned by the pruned retrieval
+// must be impossible to become the optimum for any location instance within
+// the regions (plus candidate tile). We check a stronger sampled version:
+// for sampled instances, the brute-force optimum is always po or one of the
+// returned candidates.
+TEST_P(PruningSoundnessTest, PrunedPointsCanNeverWin) {
+  const Objective obj = GetParam();
+  Rng rng(505);
+  for (int trial = 0; trial < 25; ++trial) {
+    const size_t m = 1 + trial % 3;
+    const Scenario s = MakeScenario(200, m, 6200 + trial, 600.0);
+    const auto circle = ComputeCircleMsr(s.tree, s.users, obj);
+    if (circle.rmax <= 1e-9 || circle.rmax > 1e12) continue;
+    const double delta = std::sqrt(2.0) * circle.rmax;
+    auto regions = InitialRegions(s.users, delta);
+    // Grow one extra tile for user 0 to make regions asymmetric.
+    regions[0].Add(GridTile{0, 1, 0});
+
+    FreshCandidateSource source(&s.tree, &s.users, obj, circle.po_id,
+                                circle.po);
+    std::vector<Candidate> cands;
+    const size_t ui = trial % m;
+    const Rect tile = regions[ui].TileRect(GridTile{0, 0, 1});
+    ASSERT_TRUE(source.GetCandidates(regions, ui, tile, &cands));
+
+    std::set<uint32_t> allowed;
+    allowed.insert(circle.po_id);
+    for (const Candidate& c : cands) allowed.insert(c.id);
+
+    for (int inst = 0; inst < 80; ++inst) {
+      std::vector<Point> locations;
+      for (size_t j = 0; j < m; ++j) {
+        const Rect& r = j == ui ? tile : regions[j].rects()[0];
+        locations.push_back(
+            {rng.Uniform(r.lo.x, r.hi.x), rng.Uniform(r.lo.y, r.hi.y)});
+      }
+      const auto best = FindGnnBruteForce(s.pois, locations, obj, 1);
+      EXPECT_TRUE(allowed.count(best[0].id))
+          << "pruned point " << best[0].id << " won at trial " << trial;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Objectives, PruningSoundnessTest,
+                         ::testing::Values(Objective::kMax, Objective::kSum),
+                         [](const ::testing::TestParamInfo<Objective>& info) {
+                           return ObjectiveName(info.param);
+                         });
+
+TEST(PruningTest, PrunesFarPoints) {
+  // A dense local cluster plus one very remote POI: the remote one must be
+  // pruned from the candidate list.
+  std::vector<Point> pois;
+  Rng rng(99);
+  for (int i = 0; i < 50; ++i) {
+    pois.push_back({rng.Uniform(0, 100), rng.Uniform(0, 100)});
+  }
+  pois.push_back({100000, 100000});  // id 50: remote
+  RTree tree = RTree::BulkLoad(pois);
+  const std::vector<Point> users = {{40, 40}, {60, 60}};
+  const auto circle = ComputeCircleMsr(tree, users, Objective::kMax);
+  const double delta = std::sqrt(2.0) * circle.rmax;
+  auto regions = InitialRegions(users, delta);
+  FreshCandidateSource source(&tree, &users, Objective::kMax, circle.po_id,
+                              circle.po);
+  std::vector<Candidate> cands;
+  ASSERT_TRUE(source.GetCandidates(regions, 0,
+                                   regions[0].TileRect(GridTile{0, 1, 0}),
+                                   &cands));
+  for (const Candidate& c : cands) EXPECT_NE(c.id, 50u);
+  EXPECT_LT(cands.size(), pois.size() - 1);
+}
+
+TEST(BufferTest, BetasAreSortedAndMatchDefinition) {
+  const Scenario s = MakeScenario(500, 3, 404);
+  const int b = 50;
+  BufferedCandidateSource source(s.tree, s.users, Objective::kMax, b);
+  const auto top = FindGnn(s.tree, s.users, Objective::kMax, b + 1);
+  double prev = -1.0;
+  for (int z = 1; z <= b; ++z) {
+    const double beta = source.Beta(z);
+    EXPECT_GE(beta, prev);
+    prev = beta;
+    if (static_cast<size_t>(z) < top.size()) {
+      EXPECT_NEAR(beta, (top[z].agg - top[0].agg) / 2.0, 1e-9);
+    }
+  }
+  // beta_1 equals the Theorem-1 circle radius.
+  const auto circle = ComputeCircleMsr(s.tree, s.users, Objective::kMax);
+  EXPECT_NEAR(source.Beta(1), circle.rmax, 1e-9);
+}
+
+TEST(BufferTest, SumBetasDivideByTwoM) {
+  const Scenario s = MakeScenario(500, 4, 405);
+  BufferedCandidateSource source(s.tree, s.users, Objective::kSum, 10);
+  const auto top = FindGnn(s.tree, s.users, Objective::kSum, 11);
+  EXPECT_NEAR(source.Beta(1), (top[1].agg - top[0].agg) / (2.0 * 4), 1e-9);
+}
+
+TEST(BufferTest, SlotSelectionBoundsCandidates) {
+  const Scenario s = MakeScenario(800, 3, 2929);
+  const int b = 30;
+  BufferedCandidateSource source(s.tree, s.users, Objective::kMax, b);
+  const double delta = 2.0 * source.Beta(1) / std::sqrt(2.0);
+  if (delta <= 0) GTEST_SKIP() << "degenerate scenario";
+  auto regions = InitialRegions(s.users, delta);
+  // Tiny tile -> small dist -> few candidates.
+  std::vector<Candidate> small_cands;
+  const Rect small = regions[0].TileRect(GridTile{2, 0, 0});
+  ASSERT_TRUE(source.GetCandidates(regions, 0, small, &small_cands));
+  // Far tile -> larger dist -> at least as many candidates (or rejection).
+  std::vector<Candidate> big_cands;
+  const Rect far = regions[0].TileRect(GridTile{0, 10, 0});
+  const bool far_ok = source.GetCandidates(regions, 0, far, &big_cands);
+  if (far_ok) {
+    EXPECT_GE(big_cands.size(), small_cands.size());
+  } else {
+    EXPECT_GT(source.stats().rejected_by_buffer, 0u);
+  }
+}
+
+TEST(BufferTest, RejectsTilesBeyondBetaB) {
+  const Scenario s = MakeScenario(300, 2, 11011);
+  const int b = 5;
+  BufferedCandidateSource source(s.tree, s.users, Objective::kMax, b);
+  const double beta_b = source.Beta(b);
+  if (!std::isfinite(beta_b)) GTEST_SKIP() << "tiny dataset";
+  const double delta = std::max(1e-6, 2.0 * source.Beta(1) / std::sqrt(2.0));
+  auto regions = InitialRegions(s.users, delta);
+  // A tile definitely beyond beta_b from the user.
+  const int far_cells =
+      static_cast<int>(beta_b / regions[0].CellSide(0)) + 3;
+  std::vector<Candidate> cands;
+  const bool ok = source.GetCandidates(
+      regions, 0, regions[0].TileRect(GridTile{0, far_cells, 0}), &cands);
+  EXPECT_FALSE(ok);
+}
+
+TEST(BufferTest, SmallDatasetInfiniteBetaAcceptsEverything) {
+  // Fewer POIs than b+1: trailing betas are infinite, nothing is rejected.
+  const Scenario s = MakeScenario(5, 2, 3141);
+  BufferedCandidateSource source(s.tree, s.users, Objective::kMax, 100);
+  auto regions = InitialRegions(s.users, 10.0);
+  std::vector<Candidate> cands;
+  EXPECT_TRUE(source.GetCandidates(
+      regions, 0, regions[0].TileRect(GridTile{0, 50, 0}), &cands));
+  // All non-optimal POIs are candidates at most.
+  EXPECT_LE(cands.size(), s.pois.size() - 1);
+}
+
+}  // namespace
+}  // namespace mpn

@@ -1,0 +1,239 @@
+// Targeted GT-Verify tests (Theorem 2): hand-constructed dominance
+// configurations exercising each case of the theorem, the Fig. 6b
+// divide-and-conquer recovery, and sampled-instance soundness of accepted
+// tiles under adversarial region shapes.
+#include <gtest/gtest.h>
+
+#include "index/gnn.h"
+#include "mpn/tile_verify.h"
+#include "mpn/verify.h"
+#include "msr_test_util.h"
+#include "util/rng.h"
+
+namespace mpn {
+namespace {
+
+// Builds a region holding the listed cells at level 0.
+TileRegion RegionWith(const Point& user, double delta,
+                      std::initializer_list<std::pair<int, int>> cells) {
+  TileRegion r(user, delta);
+  for (const auto& [ix, iy] : cells) r.Add(GridTile{0, ix, iy});
+  return r;
+}
+
+TEST(GtVerifyTest, SingleUserReducesToLemma1) {
+  // m = 1: the tile is safe iff maxdist(po, s) <= mindist(p, s).
+  std::vector<TileRegion> regions;
+  regions.push_back(RegionWith({0, 0}, 2.0, {{0, 0}}));
+  MaxGtVerifier gt;
+  const Point po{0, 0};
+  const Candidate far{1, {100, 0}};
+  // maxdist(po, s) = sqrt(2) ~ 1.414; candidate at x=2 has mindist 1.0.
+  const Candidate near{2, {2.0, 0}};
+  const Rect s = regions[0].TileRect(GridTile{0, 0, 0});  // [-1,1]^2
+  EXPECT_TRUE(gt.VerifyTile(regions, 0, s, far, po));
+  EXPECT_FALSE(gt.VerifyTile(regions, 0, s, near, po));
+}
+
+TEST(GtVerifyTest, Figure6bSplitRecovery) {
+  // The Fig. 6b phenomenon: a wide tile fails the conservative per-tile
+  // test because its min and max distances are realized by different
+  // corners, yet geometrically every point of (part of) the tile keeps po
+  // optimal; recursive splitting recovers sub-tiles. Single user at the
+  // origin; po = (-6,0), p = (6.5,0) -> bisector at x = 0.25.
+  std::vector<TileRegion> regions;
+  regions.push_back(RegionWith({0, 0}, 8.0, {}));  // anchor only
+  const Point po{-6, 0};
+  const Candidate p{7, {6.5, 0}};
+  MaxGtVerifier gt;
+  // Level 0, [-4,4]^2: do = dist(po,(4,±4)) ~ 10.77 > dp = 2.5 -> reject.
+  const Rect wide = regions[0].TileRect(GridTile{0, 0, 0});
+  EXPECT_FALSE(gt.VerifyTile(regions, 0, wide, p, po));
+  // Level 1 west quadrant [-4,0]x[-4,0]: every point is strictly closer to
+  // po than to p (x < 0.25), but the conservative test still fails
+  // (do = 7.21 from corner (0,±4) vs dp = 6.5 from corner (0,0)).
+  const Rect west = regions[0].TileRect(GridTile{1, 0, 0});
+  for (double x : {-4.0, -2.0, 0.0}) {
+    for (double y : {-4.0, -2.0, 0.0}) {
+      EXPECT_LT(Dist(po, {x, y}), Dist(p.p, {x, y}));
+    }
+  }
+  EXPECT_FALSE(gt.VerifyTile(regions, 0, west, p, po));
+  // Level 2, [-2,0]x[-2,0]: do = 6.32 <= dp = 6.5 -> accepted. Exactly the
+  // divide-and-conquer recovery of Algorithm 2.
+  const Rect grand = regions[0].TileRect(GridTile{2, 1, 1});
+  EXPECT_TRUE(gt.VerifyTile(regions, 0, grand, p, po));
+}
+
+TEST(GtVerifyTest, OtherUserDominanceGrantsSlack) {
+  // Case 2/3 of Theorem 2: user 0's tile would fail the pure Lemma-1
+  // check against its own do/dp, but because user 1 dominates both po and
+  // p at a large distance, the tile is still safe.
+  const Point u0{0, 0};
+  const Point u1{50, 0};
+  std::vector<TileRegion> regions;
+  regions.push_back(RegionWith(u0, 1.0, {{0, 0}}));
+  regions.push_back(RegionWith(u1, 1.0, {{0, 0}}));
+  const Point po{40, 0};   // near u1; u1 dominates po's distance
+  const Candidate p{3, {-30, 0}};  // near-ish u0's side; u1 dominates p too
+  MaxGtVerifier gt;
+  // Tile for user 0 slightly toward po.
+  const Rect s = regions[0].TileRect(GridTile{0, 1, 0});  // [0.5,1.5]^2-ish
+  // Sanity: the naive single-user condition fails (maxdist(po,s) >
+  // mindist(p,s) is false here? compute: maxdist(po from [0.5,1.5]x[-.5,.5])
+  // = dist((40,0),(0.5,+-0.5)) ~ 39.5; mindist(p,s) = dist((-30,0),(0.5,..))
+  // ~ 30.5; 39.5 > 30.5 so the per-tile condition fails...
+  EXPECT_GT(s.MaxDist(po), s.MinDist(p.p));
+  // ...but u1's distances dominate both sides: ||po,R1||max ~ 10+
+  // and ||p,R1||min ~ 79-, so the group stays valid and GT accepts.
+  EXPECT_TRUE(gt.VerifyTile(regions, 0, s, p, po));
+}
+
+TEST(GtVerifyTest, AcceptedTilesAreSoundOnSampledInstances) {
+  // GT-Verify's contract (Theorem 2) assumes the existing region group is
+  // already valid w.r.t. (po, p). We maintain that premise by growing the
+  // regions only through GT-accepted tiles, then check every subsequently
+  // accepted tile against sampled instances of the full group space.
+  Rng rng(97531);
+  size_t accepted = 0;
+  for (int trial = 0; trial < 150; ++trial) {
+    MaxGtVerifier gt;
+    const size_t m = 2 + trial % 2;
+    std::vector<Point> users;
+    std::vector<TileRegion> regions;
+    for (size_t i = 0; i < m; ++i) {
+      users.push_back({rng.Uniform(0, 60), rng.Uniform(0, 60)});
+      regions.emplace_back(users[i], rng.Uniform(1.0, 4.0));
+      regions.back().Add(GridTile{0, 0, 0});
+    }
+    const Point po{rng.Uniform(0, 60), rng.Uniform(0, 60)};
+    const Candidate cand{1, {rng.Uniform(0, 60), rng.Uniform(0, 60)}};
+    // Premise: the initial group must be valid for (po, cand); skip
+    // configurations where it is not (the engine would never create them).
+    {
+      std::vector<SafeRegion> sr;
+      for (const auto& r : regions) sr.push_back(SafeRegion::MakeTiles(r));
+      bool initial_valid = true;
+      for (int probe = 0; probe < 200 && initial_valid; ++probe) {
+        double d_po = 0.0, d_c = 0.0;
+        for (size_t j = 0; j < m; ++j) {
+          const Point l = testutil::SampleRegion(sr[j], &rng);
+          d_po = std::max(d_po, Dist(po, l));
+          d_c = std::max(d_c, Dist(cand.p, l));
+        }
+        initial_valid = d_po <= d_c + 1e-9;
+      }
+      if (!initial_valid) continue;
+      // Also require the conservative initial check so the premise holds
+      // for *all* instances, not just the sampled ones.
+      if (!VerifyLemma1(sr, po, cand.p)) continue;
+    }
+    // Grow via GT-accepted tiles only (premise preserved), then validate.
+    for (int step = 0; step < 12; ++step) {
+      const size_t ui = static_cast<size_t>(rng.UniformInt(0, m - 1));
+      const GridTile tile{static_cast<int32_t>(rng.UniformInt(0, 1)),
+                          static_cast<int32_t>(rng.UniformInt(-3, 3)),
+                          static_cast<int32_t>(rng.UniformInt(-3, 3))};
+      const Rect s = regions[ui].TileRect(tile);
+      if (!gt.VerifyTile(regions, ui, s, cand, po)) continue;
+      ++accepted;
+      for (int inst = 0; inst < 25; ++inst) {
+        double d_po = 0.0, d_c = 0.0;
+        for (size_t j = 0; j < m; ++j) {
+          Point l;
+          if (j == ui) {
+            l = {rng.Uniform(s.lo.x, s.hi.x), rng.Uniform(s.lo.y, s.hi.y)};
+          } else {
+            const auto& rects = regions[j].rects();
+            const Rect& rr = rects[static_cast<size_t>(rng.UniformInt(
+                0, static_cast<int64_t>(rects.size()) - 1))];
+            l = {rng.Uniform(rr.lo.x, rr.hi.x), rng.Uniform(rr.lo.y, rr.hi.y)};
+          }
+          d_po = std::max(d_po, Dist(po, l));
+          d_c = std::max(d_c, Dist(cand.p, l));
+        }
+        ASSERT_LE(d_po, d_c + 1e-9)
+            << "GT accepted an unsafe tile (trial " << trial << ")";
+      }
+      regions[ui].Add(tile);  // commit: premise stays valid
+    }
+  }
+  EXPECT_GT(accepted, 50u);  // the accepting branch must be exercised
+}
+
+TEST(GtVerifyTest, StatsCountCallsAndAcceptances) {
+  std::vector<TileRegion> regions;
+  regions.push_back(RegionWith({0, 0}, 2.0, {{0, 0}}));
+  MaxGtVerifier gt;
+  const Rect s = regions[0].TileRect(GridTile{0, 0, 0});
+  gt.VerifyTile(regions, 0, s, {1, {100, 0}}, {0, 0});   // accept
+  gt.VerifyTile(regions, 0, s, {2, {2.2, 0}}, {0, 0});   // reject
+  EXPECT_EQ(gt.stats().calls, 2u);
+  EXPECT_EQ(gt.stats().accepted, 1u);
+}
+
+TEST(ItVerifyTest, CountsTileGroups) {
+  std::vector<TileRegion> regions;
+  regions.push_back(RegionWith({0, 0}, 2.0, {{0, 0}, {0, 1}}));   // 2 tiles
+  regions.push_back(RegionWith({10, 0}, 2.0, {{0, 0}, {1, 0}, {0, 1}}));  // 3
+  MaxItVerifier it;
+  const Rect s = regions[0].TileRect(GridTile{0, -1, 0});
+  it.VerifyTile(regions, 0, s, {1, {200, 0}}, {0, 0});
+  // Groups enumerated: |R_1| = 3 (user 0 pinned to s).
+  EXPECT_EQ(it.stats().tile_groups, 3u);
+  it.VerifyTile(regions, 1, regions[1].TileRect(GridTile{0, -1, 0}),
+                {1, {200, 0}}, {0, 0});
+  EXPECT_EQ(it.stats().tile_groups, 3u + 2u);
+}
+
+TEST(SumVerifierTest, AcceptsWhenSumSlackExists) {
+  // Two users; po central; candidate farther on aggregate. The hyperbola
+  // verification must accept a tile that the conservative sum-of-bounds
+  // test (VerifySumConservative semantics) would reject.
+  const Point po{0, 0};
+  std::vector<TileRegion> regions;
+  regions.push_back(RegionWith({-5, 0}, 2.0, {{0, 0}}));
+  regions.push_back(RegionWith({5, 0}, 2.0, {{0, 0}}));
+  SumHyperbolaVerifier sum(po, 2);
+  // Candidate on the far right: user 0 loses a lot by switching, user 1
+  // gains little -> sum stays in po's favor even at tile extremes.
+  const Candidate cand{1, {12, 0}};
+  const Rect s = regions[0].TileRect(GridTile{0, 1, 0});
+  EXPECT_TRUE(sum.VerifyTile(regions, 0, s, cand, po));
+  // A candidate just right of po with users shifted right flips the sum.
+  const Candidate tight{2, {1.0, 0}};
+  const Rect far_right = regions[0].TileRect(GridTile{0, 3, 0});
+  EXPECT_FALSE(sum.VerifyTile(regions, 0, far_right, tight, po));
+}
+
+TEST(SumVerifierTest, MemoizationIsConsistentAcrossCommits) {
+  // Memo hits must return the same value a cold computation returns, even
+  // after regions grow through commits.
+  Rng rng(24680);
+  const Point po{30, 30};
+  std::vector<TileRegion> regions;
+  regions.push_back(RegionWith({20, 30}, 3.0, {{0, 0}}));
+  regions.push_back(RegionWith({40, 30}, 3.0, {{0, 0}}));
+  SumHyperbolaVerifier memoized(po, 2);
+  const Candidate cand{5, {55, 31}};
+  // First pass fills the memo for user 1.
+  const Rect s1 = regions[0].TileRect(GridTile{0, 1, 0});
+  (void)memoized.VerifyTile(regions, 0, s1, cand, po);
+  // Grow user 1's region through the proper commit path.
+  const Rect s2 = regions[1].TileRect(GridTile{0, -1, 0});
+  const bool ok = memoized.VerifyTile(regions, 1, s2, cand, po);
+  if (ok) {
+    regions[1].Add(GridTile{0, -1, 0});
+    memoized.OnCommitted(1, regions[1].size());
+  }
+  // A fresh verifier (no memo) must agree with the memoized one on the
+  // next query.
+  SumHyperbolaVerifier cold(po, 2);
+  const Rect s3 = regions[0].TileRect(GridTile{0, 0, 1});
+  EXPECT_EQ(memoized.VerifyTile(regions, 0, s3, cand, po),
+            cold.VerifyTile(regions, 0, s3, cand, po));
+  EXPECT_GT(memoized.stats().memo_hits, 0u);
+}
+
+}  // namespace
+}  // namespace mpn

@@ -1,0 +1,278 @@
+// Road-network MPN extension tests: network metric correctness (symmetry,
+// triangle inequality, same-edge shortcuts), metric-ball materialization,
+// the metric-space Theorem-1/5 soundness property, and the end-to-end
+// network simulation invariant.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "netmpn/network_mpn.h"
+#include "util/rng.h"
+
+namespace mpn {
+namespace {
+
+const Rect kWorld({0, 0}, {10000, 10000});
+
+struct NetFixture {
+  RoadNetwork network;
+  NetworkSpace space;
+  explicit NetFixture(uint64_t seed, int rows = 8, int cols = 8)
+      : network([&] {
+          Rng rng(seed);
+          return RoadNetwork::RandomGrid(kWorld, rows, cols, 0.2, 0.1, 0.1,
+                                         &rng);
+        }()),
+        space(&network) {}
+};
+
+TEST(NetworkSpaceTest, EdgeTableMatchesNetwork) {
+  NetFixture f(1);
+  EXPECT_EQ(f.space.EdgeCount(), f.network.EdgeCount());
+  for (uint32_t id = 0; id < f.space.EdgeCount(); ++id) {
+    const auto& e = f.space.edge(id);
+    EXPECT_LT(e.a, e.b);
+    EXPECT_NEAR(e.length,
+                Dist(f.network.NodePos(e.a), f.network.NodePos(e.b)), 1e-9);
+  }
+}
+
+TEST(NetworkSpaceTest, ToEuclideanInterpolates) {
+  NetFixture f(2);
+  const auto& e = f.space.edge(0);
+  const Point pa = f.network.NodePos(e.a);
+  const Point pb = f.network.NodePos(e.b);
+  EXPECT_NEAR(Dist(f.space.ToEuclidean({0, 0.0}), pa), 0.0, 1e-9);
+  EXPECT_NEAR(Dist(f.space.ToEuclidean({0, e.length}), pb), 0.0, 1e-9);
+  const Point mid = f.space.ToEuclidean({0, e.length / 2});
+  EXPECT_NEAR(Dist(mid, pa), Dist(mid, pb), 1e-9);
+}
+
+TEST(NetworkSpaceTest, DistanceIsSymmetric) {
+  NetFixture f(3);
+  Rng rng(33);
+  for (int trial = 0; trial < 40; ++trial) {
+    const EdgePosition a = RandomEdgePosition(f.space, &rng);
+    const EdgePosition b = RandomEdgePosition(f.space, &rng);
+    EXPECT_NEAR(f.space.Distance(a, b), f.space.Distance(b, a), 1e-6);
+  }
+}
+
+TEST(NetworkSpaceTest, DistanceSatisfiesTriangleInequality) {
+  NetFixture f(4);
+  Rng rng(44);
+  for (int trial = 0; trial < 40; ++trial) {
+    const EdgePosition a = RandomEdgePosition(f.space, &rng);
+    const EdgePosition b = RandomEdgePosition(f.space, &rng);
+    const EdgePosition c = RandomEdgePosition(f.space, &rng);
+    EXPECT_LE(f.space.Distance(a, c),
+              f.space.Distance(a, b) + f.space.Distance(b, c) + 1e-6);
+  }
+}
+
+TEST(NetworkSpaceTest, DistanceLowerBoundedByEuclidean) {
+  NetFixture f(5);
+  Rng rng(55);
+  for (int trial = 0; trial < 40; ++trial) {
+    const EdgePosition a = RandomEdgePosition(f.space, &rng);
+    const EdgePosition b = RandomEdgePosition(f.space, &rng);
+    EXPECT_GE(f.space.Distance(a, b) + 1e-6,
+              Dist(f.space.ToEuclidean(a), f.space.ToEuclidean(b)));
+  }
+}
+
+TEST(NetworkSpaceTest, SameEdgeShortcut) {
+  NetFixture f(6);
+  const auto& e = f.space.edge(0);
+  const EdgePosition a{0, e.length * 0.25};
+  const EdgePosition b{0, e.length * 0.75};
+  EXPECT_NEAR(f.space.Distance(a, b), e.length * 0.5, 1e-9);
+}
+
+TEST(NetworkSpaceTest, ZeroDistanceToSelf) {
+  NetFixture f(7);
+  Rng rng(77);
+  for (int trial = 0; trial < 20; ++trial) {
+    const EdgePosition a = RandomEdgePosition(f.space, &rng);
+    EXPECT_NEAR(f.space.Distance(a, a), 0.0, 1e-9);
+  }
+}
+
+TEST(NetworkBallTest, ContainsExactlyPositionsWithinRadius) {
+  NetFixture f(8);
+  Rng rng(88);
+  for (int trial = 0; trial < 15; ++trial) {
+    const EdgePosition center = RandomEdgePosition(f.space, &rng);
+    const double radius = rng.Uniform(100, 3000);
+    const NetworkBall ball = f.space.Ball(center, radius);
+    for (int s = 0; s < 60; ++s) {
+      const EdgePosition p = RandomEdgePosition(f.space, &rng);
+      const double d = f.space.Distance(center, p);
+      if (d <= radius - 1e-6) {
+        EXPECT_TRUE(ball.Contains(p))
+            << "dist " << d << " <= radius " << radius;
+      }
+      if (d > radius + 1e-6) {
+        EXPECT_FALSE(ball.Contains(p))
+            << "dist " << d << " > radius " << radius;
+      }
+    }
+  }
+}
+
+TEST(NetworkBallTest, ContainsCenterAndGrowsWithRadius) {
+  NetFixture f(9);
+  Rng rng(99);
+  const EdgePosition center = RandomEdgePosition(f.space, &rng);
+  double prev_len = -1.0;
+  for (double r : {0.0, 50.0, 500.0, 5000.0, 50000.0}) {
+    const NetworkBall ball = f.space.Ball(center, r);
+    EXPECT_TRUE(ball.Contains(center, 1e-6));
+    EXPECT_GE(ball.TotalLength(), prev_len);
+    prev_len = ball.TotalLength();
+  }
+  // A huge radius covers the whole network.
+  double total_edges = 0.0;
+  for (uint32_t id = 0; id < f.space.EdgeCount(); ++id) {
+    total_edges += f.space.edge(id).length;
+  }
+  EXPECT_NEAR(f.space.Ball(center, 1e9).TotalLength(), total_edges, 1e-6);
+}
+
+TEST(NetworkBallTest, SegmentsAreMergedAndSorted) {
+  NetworkBall ball;
+  ball.AddSegment(3, 5.0, 10.0);
+  ball.AddSegment(1, 0.0, 2.0);
+  ball.AddSegment(3, 8.0, 12.0);
+  ball.AddSegment(3, 20.0, 25.0);
+  ball.Finalize();
+  ASSERT_EQ(ball.SegmentCount(), 3u);
+  EXPECT_EQ(ball.segments()[0].edge_id, 1u);
+  EXPECT_DOUBLE_EQ(ball.segments()[1].lo, 5.0);
+  EXPECT_DOUBLE_EQ(ball.segments()[1].hi, 12.0);
+  EXPECT_DOUBLE_EQ(ball.TotalLength(), 2.0 + 7.0 + 5.0);
+  EXPECT_EQ(ball.ValueCount(), 6u);
+}
+
+TEST(NetworkBallTest, EmptyAndNegativeRadius) {
+  NetFixture f(10);
+  const NetworkBall ball = f.space.Ball({0, 0.0}, -1.0);
+  EXPECT_EQ(ball.SegmentCount(), 0u);
+  EXPECT_FALSE(ball.Contains({0, 0.0}));
+}
+
+class NetworkMpnSoundnessTest : public ::testing::TestWithParam<Objective> {};
+
+// Metric-space Theorem 1/5: sampled user positions inside the metric balls
+// never change the optimal meeting point (exhaustive check over POIs).
+TEST_P(NetworkMpnSoundnessTest, BallsKeepOptimumInvariant) {
+  const Objective obj = GetParam();
+  NetFixture f(11);
+  Rng rng(obj == Objective::kMax ? 111 : 112);
+  std::vector<EdgePosition> pois;
+  for (int i = 0; i < 60; ++i) pois.push_back(RandomEdgePosition(f.space, &rng));
+  const NetworkMpn engine(&f.space, pois);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<EdgePosition> users;
+    const size_t m = 1 + trial % 3;
+    for (size_t i = 0; i < m; ++i) {
+      users.push_back(RandomEdgePosition(f.space, &rng));
+    }
+    const NetworkMpnResult result = engine.Compute(users, obj);
+    if (result.rmax <= 0.0) continue;
+    for (int inst = 0; inst < 15; ++inst) {
+      // Sample a location inside each user's ball by rejection.
+      std::vector<EdgePosition> locs;
+      for (size_t i = 0; i < m; ++i) {
+        EdgePosition l = users[i];
+        for (int tries = 0; tries < 200; ++tries) {
+          const EdgePosition cand = RandomEdgePosition(f.space, &rng);
+          if (result.regions[i].Contains(cand)) {
+            l = cand;
+            break;
+          }
+        }
+        locs.push_back(l);
+      }
+      // Exhaustive optimum for the sampled instance.
+      std::vector<std::vector<double>> nd;
+      for (const EdgePosition& u : locs) {
+        nd.push_back(f.space.NodeDistancesFrom(u));
+      }
+      double best = 1e300;
+      for (size_t j = 0; j < pois.size(); ++j) {
+        best = std::min(best, engine.AggNetworkDist(j, nd, locs, obj));
+      }
+      const double reported =
+          engine.AggNetworkDist(result.po_index, nd, locs, obj);
+      EXPECT_LE(reported, best + 1e-6 * (1.0 + best))
+          << "trial " << trial << " instance " << inst;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Objectives, NetworkMpnSoundnessTest,
+                         ::testing::Values(Objective::kMax, Objective::kSum),
+                         [](const ::testing::TestParamInfo<Objective>& info) {
+                           return ObjectiveName(info.param);
+                         });
+
+TEST(NetworkTrajectoryTest, PositionsValidAndSpeedBounded) {
+  NetFixture f(13);
+  Rng rng(133);
+  const NetworkTrajectory traj =
+      GenerateNetworkTrajectory(f.space, f.network, 40.0, 500, &rng);
+  ASSERT_EQ(traj.size(), 500u);
+  for (size_t t = 0; t < traj.size(); ++t) {
+    EXPECT_TRUE(f.space.IsValid(traj.positions[t])) << "t=" << t;
+  }
+  // Network distance between consecutive samples never exceeds the speed.
+  for (size_t t = 1; t < traj.size(); t += 25) {
+    EXPECT_LE(f.space.Distance(traj.positions[t - 1], traj.positions[t]),
+              40.0 + 1e-6)
+        << "t=" << t;
+  }
+}
+
+TEST(NetworkSimTest, EndToEndInvariantHolds) {
+  NetFixture f(14, 6, 6);
+  Rng rng(144);
+  std::vector<EdgePosition> pois;
+  for (int i = 0; i < 40; ++i) pois.push_back(RandomEdgePosition(f.space, &rng));
+  const NetworkMpn engine(&f.space, pois);
+  std::vector<NetworkTrajectory> trajs;
+  for (int i = 0; i < 3; ++i) {
+    trajs.push_back(
+        GenerateNetworkTrajectory(f.space, f.network, 25.0, 250, &rng));
+  }
+  const std::vector<const NetworkTrajectory*> group = {&trajs[0], &trajs[1],
+                                                       &trajs[2]};
+  for (Objective obj : {Objective::kMax, Objective::kSum}) {
+    const NetworkSimMetrics metrics =
+        SimulateNetworkMpn(f.space, engine, group, obj,
+                           /*check_correctness=*/true);
+    EXPECT_EQ(metrics.timestamps, 250u);
+    EXPECT_GT(metrics.updates, 0u);
+    EXPECT_LT(metrics.updates, 250u);  // balls must save some updates
+  }
+}
+
+TEST(NetworkSimTest, SafeRegionsBeatPerTickReporting) {
+  NetFixture f(15);
+  Rng rng(155);
+  std::vector<EdgePosition> pois;
+  for (int i = 0; i < 80; ++i) pois.push_back(RandomEdgePosition(f.space, &rng));
+  const NetworkMpn engine(&f.space, pois);
+  std::vector<NetworkTrajectory> trajs;
+  for (int i = 0; i < 2; ++i) {
+    trajs.push_back(
+        GenerateNetworkTrajectory(f.space, f.network, 15.0, 600, &rng));
+  }
+  const std::vector<const NetworkTrajectory*> group = {&trajs[0], &trajs[1]};
+  const NetworkSimMetrics metrics =
+      SimulateNetworkMpn(f.space, engine, group, Objective::kMax);
+  EXPECT_LT(metrics.UpdateFrequency(), 0.5);
+}
+
+}  // namespace
+}  // namespace mpn

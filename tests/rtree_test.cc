@@ -1,0 +1,210 @@
+// R-tree tests: structural invariants and query correctness against brute
+// force, for both insertion-built and bulk-loaded trees, across sizes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "index/rtree.h"
+#include "util/rng.h"
+
+namespace mpn {
+namespace {
+
+std::vector<Point> RandomPoints(size_t n, uint64_t seed,
+                                double extent = 1000.0) {
+  Rng rng(seed);
+  std::vector<Point> pts;
+  pts.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    pts.push_back({rng.Uniform(0, extent), rng.Uniform(0, extent)});
+  }
+  return pts;
+}
+
+RTree BuildByInsert(const std::vector<Point>& pts) {
+  RTree tree;
+  for (size_t i = 0; i < pts.size(); ++i) {
+    tree.Insert(pts[i], static_cast<uint32_t>(i));
+  }
+  return tree;
+}
+
+std::vector<uint32_t> BruteRange(const std::vector<Point>& pts,
+                                 const Rect& r) {
+  std::vector<uint32_t> out;
+  for (size_t i = 0; i < pts.size(); ++i) {
+    if (r.Contains(pts[i])) out.push_back(static_cast<uint32_t>(i));
+  }
+  return out;
+}
+
+std::vector<uint32_t> BruteKnn(const std::vector<Point>& pts, const Point& q,
+                               size_t k) {
+  std::vector<uint32_t> ids(pts.size());
+  for (size_t i = 0; i < pts.size(); ++i) ids[i] = static_cast<uint32_t>(i);
+  std::sort(ids.begin(), ids.end(), [&](uint32_t a, uint32_t b) {
+    const double da = Dist(q, pts[a]), db = Dist(q, pts[b]);
+    if (da != db) return da < db;
+    return a < b;
+  });
+  if (ids.size() > k) ids.resize(k);
+  return ids;
+}
+
+TEST(RTreeTest, EmptyTree) {
+  RTree tree;
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.Height(), 0);
+  EXPECT_TRUE(tree.bounds().IsEmpty());
+  std::vector<uint32_t> out;
+  tree.RangeQuery(Rect({0, 0}, {1, 1}), &out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_TRUE(tree.Knn({0, 0}, 5).empty());
+  tree.CheckInvariants();
+}
+
+TEST(RTreeTest, SinglePoint) {
+  RTree tree;
+  tree.Insert({5, 5}, 42);
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(tree.Height(), 1);
+  std::vector<uint32_t> out;
+  tree.RangeQuery(Rect({4, 4}, {6, 6}), &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 42u);
+  tree.CheckInvariants();
+}
+
+TEST(RTreeTest, InsertInvariantsAcrossSizes) {
+  for (size_t n : {1u, 5u, 33u, 100u, 1000u}) {
+    const auto pts = RandomPoints(n, 1000 + n);
+    RTree tree = BuildByInsert(pts);
+    EXPECT_EQ(tree.size(), n);
+    tree.CheckInvariants();
+  }
+}
+
+TEST(RTreeTest, BulkLoadInvariantsAcrossSizes) {
+  for (size_t n : {1u, 5u, 32u, 33u, 100u, 5000u}) {
+    const auto pts = RandomPoints(n, 2000 + n);
+    RTree tree = RTree::BulkLoad(pts);
+    EXPECT_EQ(tree.size(), n);
+    tree.CheckInvariants();
+  }
+}
+
+TEST(RTreeTest, DuplicatePointsSupported) {
+  std::vector<Point> pts(50, Point{7.0, 7.0});
+  RTree tree = BuildByInsert(pts);
+  tree.CheckInvariants();
+  std::vector<uint32_t> out;
+  tree.RangeQuery(Rect({7, 7}, {7, 7}), &out);
+  EXPECT_EQ(out.size(), 50u);
+}
+
+class RTreeQueryTest : public ::testing::TestWithParam<
+                           std::tuple<size_t, bool /*bulk*/>> {};
+
+TEST_P(RTreeQueryTest, RangeMatchesBruteForce) {
+  const auto [n, bulk] = GetParam();
+  const auto pts = RandomPoints(n, 31 * n + (bulk ? 1 : 0));
+  RTree tree = bulk ? RTree::BulkLoad(pts) : BuildByInsert(pts);
+  Rng rng(n + 77);
+  for (int q = 0; q < 25; ++q) {
+    const Point lo{rng.Uniform(-50, 1000), rng.Uniform(-50, 1000)};
+    const Rect r(lo, {lo.x + rng.Uniform(1, 400), lo.y + rng.Uniform(1, 400)});
+    std::vector<uint32_t> got;
+    tree.RangeQuery(r, &got);
+    std::vector<uint32_t> want = BruteRange(pts, r);
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, want);
+  }
+}
+
+TEST_P(RTreeQueryTest, KnnMatchesBruteForce) {
+  const auto [n, bulk] = GetParam();
+  const auto pts = RandomPoints(n, 57 * n + (bulk ? 1 : 0));
+  RTree tree = bulk ? RTree::BulkLoad(pts) : BuildByInsert(pts);
+  Rng rng(n + 13);
+  for (int q = 0; q < 20; ++q) {
+    const Point query{rng.Uniform(-100, 1100), rng.Uniform(-100, 1100)};
+    for (size_t k : {size_t{1}, size_t{3}, size_t{10}, n + 5}) {
+      const auto got = tree.Knn(query, k);
+      const auto want = BruteKnn(pts, query, k);
+      ASSERT_EQ(got.size(), want.size());
+      // Compare by distance (ids may differ only on exact ties).
+      for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_NEAR(Dist(query, pts[got[i]]), Dist(query, pts[want[i]]),
+                    1e-9);
+      }
+    }
+  }
+}
+
+TEST_P(RTreeQueryTest, CircleRangeMatchesBruteForce) {
+  const auto [n, bulk] = GetParam();
+  const auto pts = RandomPoints(n, 91 * n + (bulk ? 1 : 0));
+  RTree tree = bulk ? RTree::BulkLoad(pts) : BuildByInsert(pts);
+  Rng rng(n + 5);
+  for (int q = 0; q < 20; ++q) {
+    const Point c{rng.Uniform(0, 1000), rng.Uniform(0, 1000)};
+    const double radius = rng.Uniform(1, 300);
+    std::vector<uint32_t> got;
+    tree.CircleRangeQuery(c, radius, &got);
+    std::sort(got.begin(), got.end());
+    std::vector<uint32_t> want;
+    for (size_t i = 0; i < pts.size(); ++i) {
+      if (Dist(c, pts[i]) <= radius) want.push_back(static_cast<uint32_t>(i));
+    }
+    EXPECT_EQ(got, want);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, RTreeQueryTest,
+    ::testing::Combine(::testing::Values(size_t{10}, size_t{100},
+                                         size_t{1000}, size_t{4000}),
+                       ::testing::Bool()),
+    [](const ::testing::TestParamInfo<RTreeQueryTest::ParamType>& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) +
+             (std::get<1>(info.param) ? "_bulk" : "_insert");
+    });
+
+TEST(RTreeTest, TraversePruningRespectsPredicate) {
+  const auto pts = RandomPoints(500, 4242);
+  RTree tree = RTree::BulkLoad(pts);
+  // Predicate rejecting everything visits only the root.
+  tree.ResetNodeAccesses();
+  size_t visited = 0;
+  tree.Traverse([](const Rect&) { return false; },
+                [&](const Point&, uint32_t) { ++visited; });
+  EXPECT_EQ(visited, 0u);
+  EXPECT_EQ(tree.node_accesses(), 1u);
+  // Predicate accepting everything visits every point.
+  tree.Traverse([](const Rect&) { return true; },
+                [&](const Point&, uint32_t) { ++visited; });
+  EXPECT_EQ(visited, 500u);
+}
+
+TEST(RTreeTest, NodeAccessCounterMonotone) {
+  const auto pts = RandomPoints(2000, 8);
+  RTree tree = RTree::BulkLoad(pts);
+  tree.ResetNodeAccesses();
+  std::vector<uint32_t> out;
+  tree.RangeQuery(Rect({0, 0}, {100, 100}), &out);
+  const uint64_t a1 = tree.node_accesses();
+  EXPECT_GT(a1, 0u);
+  tree.RangeQuery(Rect({0, 0}, {100, 100}), &out);
+  EXPECT_GT(tree.node_accesses(), a1);
+}
+
+TEST(RTreeTest, BulkLoadIsDenserThanInsert) {
+  const auto pts = RandomPoints(4000, 99);
+  RTree ins = BuildByInsert(pts);
+  RTree bulk = RTree::BulkLoad(pts);
+  EXPECT_LE(bulk.Height(), ins.Height());
+}
+
+}  // namespace
+}  // namespace mpn

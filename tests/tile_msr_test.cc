@@ -1,0 +1,390 @@
+// Tile-MSR tests (Section 5 + Section 6.3): the central soundness property
+// (safe regions never let the optimum change), GT- vs IT-Verify agreement,
+// orderings, buffering, and structural checks.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "mpn/tile_msr.h"
+#include "mpn/verify.h"
+#include "msr_test_util.h"
+#include "util/rng.h"
+
+namespace mpn {
+namespace {
+
+using testutil::IsOptimalMeetingPoint;
+using testutil::MakeScenario;
+using testutil::SampleRegion;
+using testutil::Scenario;
+
+std::vector<MotionHint> RandomHints(size_t m, Rng* rng) {
+  std::vector<MotionHint> hints(m);
+  for (auto& h : hints) {
+    h.has_heading = true;
+    h.heading = rng->Uniform(-3.14159, 3.14159);
+    h.theta = rng->Uniform(0.3, 1.2);
+  }
+  return hints;
+}
+
+struct TileCase {
+  Objective obj;
+  bool directed;
+  bool buffered;
+  VerifierKind verifier;
+  std::string name;
+};
+
+class TileSoundnessTest : public ::testing::TestWithParam<TileCase> {};
+
+// The core paper invariant (Definition 3): for every sampled instance of
+// user locations inside the computed regions, the reported meeting point
+// remains optimal. Checked against brute force over all POIs.
+TEST_P(TileSoundnessTest, RegionsKeepOptimumInvariant) {
+  const TileCase& tc = GetParam();
+  Rng rng(31337);
+  TileMsrConfig config;
+  config.alpha = 12;
+  config.split_level = 2;
+  config.directed = tc.directed;
+  config.buffered = tc.buffered;
+  config.buffer_b = 40;
+  config.verifier = tc.verifier;
+  for (int trial = 0; trial < 25; ++trial) {
+    const size_t m = 1 + trial % 4;
+    const Scenario s = MakeScenario(150, m, 8800 + trial * 31, 800.0);
+    const auto hints = RandomHints(m, &rng);
+    const auto result = ComputeTileMsr(s.tree, s.users, tc.obj, config, hints);
+    ASSERT_EQ(result.regions.size(), m);
+    for (size_t i = 0; i < m; ++i) {
+      EXPECT_TRUE(result.regions[i].Contains(s.users[i]))
+          << "user " << i << " outside her own region, trial " << trial;
+    }
+    for (int inst = 0; inst < 40; ++inst) {
+      std::vector<Point> locations;
+      for (size_t i = 0; i < m; ++i) {
+        locations.push_back(SampleRegion(result.regions[i], &rng));
+      }
+      EXPECT_TRUE(
+          IsOptimalMeetingPoint(s.pois, result.po_id, locations, tc.obj, 1e-7))
+          << tc.name << " trial " << trial << " instance " << inst;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, TileSoundnessTest,
+    ::testing::Values(
+        TileCase{Objective::kMax, false, false, VerifierKind::kGt, "Tile"},
+        TileCase{Objective::kMax, true, false, VerifierKind::kGt, "TileD"},
+        TileCase{Objective::kMax, true, true, VerifierKind::kGt, "TileDb"},
+        TileCase{Objective::kMax, false, false, VerifierKind::kIt, "TileIT"},
+        TileCase{Objective::kSum, false, false, VerifierKind::kGt, "SumTile"},
+        TileCase{Objective::kSum, true, false, VerifierKind::kGt, "SumTileD"},
+        TileCase{Objective::kSum, true, true, VerifierKind::kGt, "SumTileDb"}),
+    [](const ::testing::TestParamInfo<TileCase>& info) {
+      return info.param.name;
+    });
+
+// GT-Verify is a conservative refinement: whenever GT accepts a tile,
+// exhaustive IT must accept it too (Theorem 2 soundness at tile-group
+// granularity).
+TEST(GtVsItTest, GtAcceptanceImpliesItAcceptance) {
+  Rng rng(1212);
+  size_t gt_accepts = 0, checked = 0;
+  for (int trial = 0; trial < 120; ++trial) {
+    const size_t m = 2 + trial % 2;
+    const Scenario s = MakeScenario(60, m, 7100 + trial, 400.0);
+    // Build small tile regions with the engine first.
+    TileMsrConfig config;
+    config.alpha = 4;
+    config.split_level = 1;
+    const auto result =
+        ComputeTileMsr(s.tree, s.users, Objective::kMax, config);
+    // Reconstruct TileRegions (skip degenerate circle fallbacks).
+    std::vector<TileRegion> regions;
+    bool tiles_ok = true;
+    for (const auto& r : result.regions) {
+      if (r.is_circle()) {
+        tiles_ok = false;
+        break;
+      }
+      regions.push_back(r.tiles());
+    }
+    if (!tiles_ok) continue;
+    // Try random new tiles around each user against random candidates.
+    MaxGtVerifier gt;
+    MaxItVerifier it;
+    for (int probe = 0; probe < 20; ++probe) {
+      const size_t ui = static_cast<size_t>(rng.UniformInt(0, m - 1));
+      const GridTile cell{0, static_cast<int32_t>(rng.UniformInt(-3, 3)),
+                          static_cast<int32_t>(rng.UniformInt(-3, 3))};
+      const Rect rect = regions[ui].TileRect(cell);
+      const uint32_t cid = static_cast<uint32_t>(
+          rng.UniformInt(0, static_cast<int64_t>(s.pois.size()) - 1));
+      if (cid == result.po_id) continue;
+      const Candidate cand{cid, s.pois[cid]};
+      ++checked;
+      const bool g = gt.VerifyTile(regions, ui, rect, cand, result.po);
+      if (g) {
+        ++gt_accepts;
+        EXPECT_TRUE(it.VerifyTile(regions, ui, rect, cand, result.po))
+            << "GT accepted a tile IT rejects (unsound GT), trial " << trial;
+      }
+    }
+  }
+  EXPECT_GT(checked, 100u);
+  EXPECT_GT(gt_accepts, 20u);
+}
+
+// Divide-Verify splits a rejected tile and can admit sub-tiles (Fig. 6b).
+TEST(DivideVerifyTest, SplitsRecoverPartialTiles) {
+  // po between two users; a competing point close to one side.
+  const std::vector<Point> pois = {{0.0, 0.0}, {3.0, 0.4}};
+  RTree tree = RTree::BulkLoad(pois);
+  const std::vector<Point> users = {{-2, 0}, {2, 0}};
+  TileMsrConfig config;
+  config.alpha = 8;
+  config.split_level = 2;
+  const auto result = ComputeTileMsr(tree, users, Objective::kMax, config);
+  ASSERT_FALSE(result.regions.empty());
+  // With L=2 splits enabled the engine usually admits sub-level tiles; the
+  // stats must reflect divide calls beyond level-0 tests.
+  EXPECT_GT(result.stats.divide_calls, result.stats.tiles_tried);
+}
+
+TEST(DivideVerifyTest, RespectsSplitLevelZero) {
+  const Scenario s = MakeScenario(100, 2, 3333, 500.0);
+  TileMsrConfig c0;
+  c0.alpha = 6;
+  c0.split_level = 0;
+  const auto r0 = ComputeTileMsr(s.tree, s.users, Objective::kMax, c0);
+  for (const auto& region : r0.regions) {
+    if (region.is_circle()) continue;
+    for (const GridTile& t : region.tiles().tiles()) {
+      EXPECT_EQ(t.level, 0);  // no splits allowed
+    }
+  }
+}
+
+TEST(TileMsrTest, TileRegionsContainInscribedSquareOfCircle) {
+  // The initial tile equals the square inscribed in the Theorem-1 circle, so
+  // tile regions are never smaller than that square.
+  const Scenario s = MakeScenario(200, 3, 11);
+  TileMsrConfig config;
+  const auto tiles = ComputeTileMsr(s.tree, s.users, Objective::kMax, config);
+  const auto circles = ComputeCircleMsr(s.tree, s.users, Objective::kMax);
+  for (size_t i = 0; i < s.users.size(); ++i) {
+    if (tiles.regions[i].is_circle()) continue;
+    const Rect inscribed = Circle(s.users[i], circles.rmax).InscribedSquare();
+    const Rect initial = tiles.regions[i].tiles().rects()[0];
+    EXPECT_NEAR(initial.lo.x, inscribed.lo.x, 1e-9);
+    EXPECT_NEAR(initial.hi.y, inscribed.hi.y, 1e-9);
+  }
+}
+
+TEST(TileMsrTest, GrowsBeyondCircleRegions) {
+  // Aggregate tile area should typically exceed the circle area (that is the
+  // whole point of Section 5). Checked across scenarios on average.
+  double tile_area = 0.0, circle_area = 0.0;
+  for (int trial = 0; trial < 10; ++trial) {
+    const Scenario s = MakeScenario(150, 3, 500 + trial);
+    TileMsrConfig config;
+    config.alpha = 30;
+    const auto t = ComputeTileMsr(s.tree, s.users, Objective::kMax, config);
+    const auto c = ComputeCircleMsr(s.tree, s.users, Objective::kMax);
+    if (c.rmax > 1e12) continue;
+    for (const auto& r : t.regions) {
+      if (r.is_circle()) continue;
+      for (const Rect& rect : r.tiles().rects()) tile_area += rect.Area();
+    }
+    circle_area += 3.14159265 * c.rmax * c.rmax * 3;
+  }
+  EXPECT_GT(tile_area, circle_area);
+}
+
+TEST(TileMsrTest, BufferedRegionsAreSubsetsInSpirit) {
+  // Buffering limits region extent by beta_b: buffered regions never extend
+  // beyond max displacement beta_b from the user.
+  const Scenario s = MakeScenario(300, 3, 919);
+  TileMsrConfig config;
+  config.buffered = true;
+  config.buffer_b = 25;
+  const auto result = ComputeTileMsr(s.tree, s.users, Objective::kMax, config);
+  BufferedCandidateSource source(s.tree, s.users, Objective::kMax,
+                                 config.buffer_b);
+  const double beta_b = source.Beta(config.buffer_b);
+  for (size_t i = 0; i < s.users.size(); ++i) {
+    if (result.regions[i].is_circle()) continue;
+    for (const Rect& t : result.regions[i].tiles().rects()) {
+      EXPECT_LE(t.MaxDist(s.users[i]), beta_b + 1e-9);
+    }
+  }
+}
+
+TEST(TileMsrTest, DegenerateTiedOptimaFallBackToCircles) {
+  // Two POIs equidistant from the single user: rmax = 0, no tile fits.
+  const std::vector<Point> pois = {{1, 0}, {-1, 0}};
+  RTree tree = RTree::BulkLoad(pois);
+  const auto result =
+      ComputeTileMsr(tree, {{0, 0}}, Objective::kMax, TileMsrConfig{});
+  ASSERT_EQ(result.regions.size(), 1u);
+  EXPECT_TRUE(result.regions[0].is_circle());
+  EXPECT_DOUBLE_EQ(result.regions[0].circle().radius, 0.0);
+}
+
+TEST(TileMsrTest, SinglePoiFallsBackToUnboundedCircle) {
+  const std::vector<Point> pois = {{4, 4}};
+  RTree tree = RTree::BulkLoad(pois);
+  const auto result =
+      ComputeTileMsr(tree, {{0, 0}, {5, 5}}, Objective::kMax, TileMsrConfig{});
+  for (const auto& r : result.regions) {
+    EXPECT_TRUE(r.is_circle());
+    EXPECT_GT(r.circle().radius, 1e12);
+  }
+}
+
+TEST(TileMsrTest, AlphaBoundsTileCount) {
+  const Scenario s = MakeScenario(100, 2, 2024);
+  for (int alpha : {1, 5, 15}) {
+    TileMsrConfig config;
+    config.alpha = alpha;
+    config.split_level = 0;  // one insert per round at most
+    const auto result =
+        ComputeTileMsr(s.tree, s.users, Objective::kMax, config);
+    for (const auto& r : result.regions) {
+      if (r.is_circle()) continue;
+      // initial tile + at most alpha successful rounds
+      EXPECT_LE(r.tiles().size(), static_cast<size_t>(alpha) + 1);
+    }
+  }
+}
+
+TEST(TileMsrTest, DirectedOrderingBiasesGrowthTowardHeading) {
+  // A user moving east should extend farther east than west on average.
+  const Scenario s = MakeScenario(250, 1, 606);
+  TileMsrConfig config;
+  config.alpha = 20;
+  config.directed = true;
+  std::vector<MotionHint> hints(1);
+  hints[0].has_heading = true;
+  hints[0].heading = 0.0;  // east
+  hints[0].theta = 0.6;
+  const auto result =
+      ComputeTileMsr(s.tree, s.users, Objective::kMax, config, hints);
+  if (!result.regions[0].is_circle()) {
+    const Rect b = result.regions[0].tiles().Bounds();
+    const double east = b.hi.x - s.users[0].x;
+    const double west = s.users[0].x - b.lo.x;
+    EXPECT_GE(east + 1e-9, west);
+  }
+}
+
+TEST(TileMsrTest, StatsArePopulated) {
+  const Scenario s = MakeScenario(150, 3, 321);
+  TileMsrConfig config;
+  const auto result = ComputeTileMsr(s.tree, s.users, Objective::kMax, config);
+  EXPECT_GT(result.stats.divide_calls, 0u);
+  EXPECT_GT(result.stats.tiles_added, 0u);
+  EXPECT_GT(result.stats.candidates.retrievals, 0u);
+  EXPECT_GT(result.stats.rtree_node_accesses, 0u);
+}
+
+TEST(TileMsrTest, DeterministicAcrossCalls) {
+  const Scenario s = MakeScenario(200, 3, 8);
+  TileMsrConfig config;
+  config.directed = false;
+  const auto a = ComputeTileMsr(s.tree, s.users, Objective::kMax, config);
+  const auto b = ComputeTileMsr(s.tree, s.users, Objective::kMax, config);
+  EXPECT_EQ(a.po_id, b.po_id);
+  ASSERT_EQ(a.regions.size(), b.regions.size());
+  for (size_t i = 0; i < a.regions.size(); ++i) {
+    ASSERT_EQ(a.regions[i].is_circle(), b.regions[i].is_circle());
+    if (!a.regions[i].is_circle()) {
+      EXPECT_EQ(a.regions[i].tiles().size(), b.regions[i].tiles().size());
+    }
+  }
+}
+
+// --- Tile ordering unit tests ----------------------------------------------
+
+TEST(TileOrderingTest, FirstRingVisitsEightCellsCcwFromEast) {
+  TileRegion region({0, 0}, 1.0);
+  region.Add(GridTile{0, 0, 0});
+  TileOrdering ordering;
+  std::vector<std::pair<int, int>> cells;
+  for (int i = 0; i < 8; ++i) {
+    auto t = ordering.Next(region);
+    ASSERT_TRUE(t.has_value());
+    EXPECT_EQ(t->level, 0);
+    cells.push_back({t->ix, t->iy});
+    ordering.MarkInserted();
+  }
+  const std::vector<std::pair<int, int>> want = {
+      {1, 0}, {1, 1}, {0, 1}, {-1, 1}, {-1, 0}, {-1, -1}, {0, -1}, {1, -1}};
+  EXPECT_EQ(cells, want);
+}
+
+TEST(TileOrderingTest, StopsWhenRingHadNoInsertion) {
+  TileRegion region({0, 0}, 1.0);
+  region.Add(GridTile{0, 0, 0});
+  TileOrdering ordering;
+  // Drain ring 1 without marking any insertion.
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE(ordering.Next(region).has_value());
+  EXPECT_FALSE(ordering.Next(region).has_value());
+  EXPECT_FALSE(ordering.Next(region).has_value());  // stays exhausted
+}
+
+TEST(TileOrderingTest, AdvancesToOuterRingAfterInsertion) {
+  TileRegion region({0, 0}, 1.0);
+  region.Add(GridTile{0, 0, 0});
+  TileOrdering ordering;
+  auto first = ordering.Next(region);
+  ASSERT_TRUE(first.has_value());
+  ordering.MarkInserted();
+  for (int i = 0; i < 7; ++i) ASSERT_TRUE(ordering.Next(region).has_value());
+  // Ring 2 opens because ring 1 had an insertion; it has 16 cells.
+  auto t = ordering.Next(region);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(std::max(std::abs(t->ix), std::abs(t->iy)), 2);
+}
+
+TEST(TileOrderingTest, DirectedConeFiltersCells) {
+  TileRegion region({0, 0}, 1.0);
+  region.Add(GridTile{0, 0, 0});
+  // Narrow cone toward east: western cells must be skipped.
+  TileOrdering ordering(/*heading=*/0.0, /*theta=*/0.3);
+  std::vector<std::pair<int, int>> cells;
+  while (cells.size() < 6) {
+    auto t = ordering.Next(region);
+    if (!t) break;
+    cells.push_back({t->ix, t->iy});
+    ordering.MarkInserted();
+  }
+  ASSERT_FALSE(cells.empty());
+  for (const auto& [ix, iy] : cells) {
+    EXPECT_GT(ix, 0) << "cell (" << ix << "," << iy
+                     << ") is not in the eastern cone";
+  }
+}
+
+TEST(TileOrderingTest, WideConeBehavesLikeUndirected) {
+  TileRegion region({0, 0}, 1.0);
+  region.Add(GridTile{0, 0, 0});
+  TileOrdering directed(/*heading=*/1.0, /*theta=*/3.2);  // > pi: everything
+  TileOrdering undirected;
+  for (int i = 0; i < 24; ++i) {
+    auto a = directed.Next(region);
+    auto b = undirected.Next(region);
+    ASSERT_EQ(a.has_value(), b.has_value());
+    if (!a) break;
+    EXPECT_EQ(a->ix, b->ix);
+    EXPECT_EQ(a->iy, b->iy);
+    directed.MarkInserted();
+    undirected.MarkInserted();
+  }
+}
+
+}  // namespace
+}  // namespace mpn

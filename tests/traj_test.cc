@@ -1,0 +1,261 @@
+// Workload substrate tests: road networks, trajectory generators, POI
+// synthesis, speed rescaling, grouping.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "traj/generators.h"
+#include "traj/road_network.h"
+#include "traj/trajectory.h"
+#include "util/rng.h"
+
+namespace mpn {
+namespace {
+
+const Rect kWorld({0, 0}, {10000, 10000});
+
+TEST(RoadNetworkTest, ManualGraphShortestPath) {
+  RoadNetwork net;
+  const uint32_t a = net.AddNode({0, 0});
+  const uint32_t b = net.AddNode({1, 0});
+  const uint32_t c = net.AddNode({2, 0});
+  const uint32_t d = net.AddNode({1, 5});
+  net.AddEdge(a, b);
+  net.AddEdge(b, c);
+  net.AddEdge(a, d);
+  net.AddEdge(d, c);
+  const auto path = net.ShortestPath(a, c);
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(path[0], a);
+  EXPECT_EQ(path[1], b);
+  EXPECT_EQ(path[2], c);
+}
+
+TEST(RoadNetworkTest, UnreachableReturnsEmpty) {
+  RoadNetwork net;
+  const uint32_t a = net.AddNode({0, 0});
+  net.AddNode({1, 0});  // isolated
+  const uint32_t c = net.AddNode({2, 0});
+  net.AddEdge(a, c);
+  EXPECT_TRUE(net.ShortestPath(a, 1).empty());
+  EXPECT_FALSE(net.IsConnected());
+}
+
+TEST(RoadNetworkTest, RandomGridIsConnectedAndInBounds) {
+  for (uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    Rng rng(seed);
+    const RoadNetwork net =
+        RoadNetwork::RandomGrid(kWorld, 12, 12, 0.3, 0.15, 0.2, &rng);
+    EXPECT_TRUE(net.IsConnected());
+    EXPECT_EQ(net.NodeCount(), 144u);
+    EXPECT_GT(net.EdgeCount(), 144u / 2);
+    const Rect b = net.Bounds();
+    // Jitter can push nodes slightly past the nominal frame; allow slack.
+    EXPECT_GE(b.lo.x, kWorld.lo.x - 0.35 * kWorld.Width() / 11);
+    EXPECT_LE(b.hi.x, kWorld.hi.x + 0.35 * kWorld.Width() / 11);
+  }
+}
+
+TEST(RoadNetworkTest, ShortestPathsFollowEdges) {
+  Rng rng(77);
+  const RoadNetwork net =
+      RoadNetwork::RandomGrid(kWorld, 8, 8, 0.2, 0.1, 0.1, &rng);
+  for (int trial = 0; trial < 20; ++trial) {
+    const uint32_t s = static_cast<uint32_t>(
+        rng.UniformInt(0, static_cast<int64_t>(net.NodeCount()) - 1));
+    const uint32_t t = static_cast<uint32_t>(
+        rng.UniformInt(0, static_cast<int64_t>(net.NodeCount()) - 1));
+    const auto path = net.ShortestPath(s, t);
+    ASSERT_FALSE(path.empty());
+    EXPECT_EQ(path.front(), s);
+    EXPECT_EQ(path.back(), t);
+    for (size_t i = 1; i < path.size(); ++i) {
+      bool adjacent = false;
+      for (const auto& [v, w] : net.Neighbors(path[i - 1])) {
+        (void)w;
+        if (v == path[i]) adjacent = true;
+      }
+      EXPECT_TRUE(adjacent) << "hop " << i << " is not an edge";
+    }
+  }
+}
+
+TEST(BrinkhoffTest, SpeedBoundedByClass) {
+  Rng net_rng(5);
+  const RoadNetwork net =
+      RoadNetwork::RandomGrid(kWorld, 10, 10, 0.25, 0.1, 0.15, &net_rng);
+  BrinkhoffGenerator::Options opt;
+  opt.min_speed = 30;
+  opt.max_speed = 80;
+  const BrinkhoffGenerator gen(&net, opt);
+  Rng rng(6);
+  for (int i = 0; i < 5; ++i) {
+    const Trajectory t = gen.Generate(400, &rng);
+    ASSERT_EQ(t.size(), 400u);
+    EXPECT_LE(t.MaxStep(), opt.max_speed + 1e-6);
+    EXPECT_GT(t.Length(), 0.0);
+  }
+}
+
+TEST(BrinkhoffTest, StaysNearNetworkEdges) {
+  Rng net_rng(9);
+  const RoadNetwork net =
+      RoadNetwork::RandomGrid(kWorld, 6, 6, 0.1, 0.0, 0.0, &net_rng);
+  const BrinkhoffGenerator gen(&net, {});
+  Rng rng(10);
+  const Trajectory t = gen.Generate(300, &rng);
+  // Every position lies within the network bounds (movement is on edges).
+  const Rect b = net.Bounds();
+  for (const Point& p : t.positions) {
+    EXPECT_TRUE(b.Contains(p)) << p.ToString();
+  }
+}
+
+TEST(BrinkhoffTest, FleetIsDeterministicBySeed) {
+  Rng net_rng(13);
+  const RoadNetwork net =
+      RoadNetwork::RandomGrid(kWorld, 8, 8, 0.2, 0.1, 0.1, &net_rng);
+  const BrinkhoffGenerator gen(&net, {});
+  Rng r1(42), r2(42);
+  const auto f1 = gen.GenerateFleet(3, 100, &r1);
+  const auto f2 = gen.GenerateFleet(3, 100, &r2);
+  for (size_t i = 0; i < 3; ++i) {
+    ASSERT_EQ(f1[i].size(), f2[i].size());
+    for (size_t t = 0; t < f1[i].size(); ++t) {
+      EXPECT_EQ(f1[i].positions[t], f2[i].positions[t]);
+    }
+  }
+}
+
+TEST(RandomWalkTest, StaysInWorldAndRespectsSpeed) {
+  RandomWalkGenerator::Options opt;
+  opt.world = kWorld;
+  opt.mean_speed = 50;
+  opt.speed_jitter = 0.2;
+  const RandomWalkGenerator gen(opt);
+  Rng rng(21);
+  for (int i = 0; i < 5; ++i) {
+    const Trajectory t = gen.Generate(500, &rng);
+    ASSERT_EQ(t.size(), 500u);
+    for (const Point& p : t.positions) EXPECT_TRUE(kWorld.Contains(p));
+    // Speed stays within a few sigma of the mean.
+    EXPECT_LE(t.MaxStep(), opt.mean_speed * (1.0 + 6 * opt.speed_jitter));
+  }
+}
+
+TEST(RandomWalkTest, HeadingsAreCorrelated) {
+  // The defining GeoLife-like property: consecutive headings deviate little.
+  RandomWalkGenerator::Options opt;
+  opt.world = kWorld;
+  opt.heading_sigma = 0.1;
+  opt.dwell_prob = 0.0;
+  const RandomWalkGenerator gen(opt);
+  Rng rng(22);
+  const Trajectory t = gen.Generate(2000, &rng);
+  double total_dev = 0.0;
+  int n = 0;
+  for (size_t i = 2; i < t.size(); ++i) {
+    const Vec2 a = t.positions[i - 1] - t.positions[i - 2];
+    const Vec2 b = t.positions[i] - t.positions[i - 1];
+    if (a.Norm2() == 0 || b.Norm2() == 0) continue;
+    total_dev += AngleDiff(a.Angle(), b.Angle());
+    ++n;
+  }
+  ASSERT_GT(n, 1000);
+  // Mean deviation of a N(0, 0.1) step is ~0.08; allow generous slack but
+  // far below the ~pi/2 of an uncorrelated walk.
+  EXPECT_LT(total_dev / n, 0.35);
+}
+
+TEST(RandomWalkTest, DwellsProduceRepeatedPositions) {
+  RandomWalkGenerator::Options opt;
+  opt.world = kWorld;
+  opt.dwell_prob = 0.05;
+  const RandomWalkGenerator gen(opt);
+  Rng rng(23);
+  const Trajectory t = gen.Generate(1000, &rng);
+  int repeats = 0;
+  for (size_t i = 1; i < t.size(); ++i) {
+    if (t.positions[i] == t.positions[i - 1]) ++repeats;
+  }
+  EXPECT_GT(repeats, 10);
+}
+
+TEST(PoiGenTest, CountBoundsAndDeterminism) {
+  PoiOptions opt;
+  opt.world = kWorld;
+  Rng r1(31), r2(31);
+  const auto a = GeneratePois(5000, opt, &r1);
+  const auto b = GeneratePois(5000, opt, &r2);
+  ASSERT_EQ(a.size(), 5000u);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(kWorld.Contains(a[i]));
+    EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(PoiGenTest, ClusteredIsSkewedVsUniform) {
+  // Clustered POIs should put much more mass in their densest cell than a
+  // uniform layout would.
+  PoiOptions clustered;
+  clustered.world = kWorld;
+  clustered.clusters = 10;
+  clustered.background_frac = 0.1;
+  Rng rng(37);
+  const auto pois = GeneratePois(8000, clustered, &rng);
+  constexpr int kGrid = 10;
+  std::vector<int> cell(kGrid * kGrid, 0);
+  for (const Point& p : pois) {
+    const int cx = std::min(kGrid - 1, static_cast<int>(p.x / 1000.0));
+    const int cy = std::min(kGrid - 1, static_cast<int>(p.y / 1000.0));
+    ++cell[cy * kGrid + cx];
+  }
+  const int max_cell = *std::max_element(cell.begin(), cell.end());
+  EXPECT_GT(max_cell, 8000 / (kGrid * kGrid) * 3);
+}
+
+TEST(RescaleSpeedTest, QuartersTheSpeed) {
+  // Straight-line trajectory: rescaling to x=0.25 quarters the step length.
+  Trajectory t;
+  for (int i = 0; i < 1000; ++i) t.positions.push_back({i * 4.0, 0.0});
+  const Trajectory s = RescaleSpeed(t, 0.25, 1000);
+  ASSERT_EQ(s.size(), 1000u);
+  // Prefix has 249 segments of length 4 resampled into 999 steps:
+  // step = 996/999, i.e. one-quarter speed up to discretization.
+  EXPECT_NEAR(s.MaxStep(), 1.0, 0.01);
+  // Same start, endpoint at the 25% mark of the original.
+  EXPECT_EQ(s.positions.front(), t.positions.front());
+  EXPECT_NEAR(s.positions.back().x, t.positions[249].x, 5.0);
+}
+
+TEST(RescaleSpeedTest, FullSpeedPreservesEndpoints) {
+  Rng rng(71);
+  Trajectory t;
+  Point p{0, 0};
+  for (int i = 0; i < 500; ++i) {
+    p += {rng.Uniform(-3, 5), rng.Uniform(-4, 4)};
+    t.positions.push_back(p);
+  }
+  const Trajectory s = RescaleSpeed(t, 1.0, 500);
+  EXPECT_NEAR(Dist(s.positions.front(), t.positions.front()), 0.0, 1e-9);
+  EXPECT_NEAR(Dist(s.positions.back(), t.positions.back()), 0.0, 1e-9);
+}
+
+TEST(MakeGroupsTest, PartitionsBlocks) {
+  std::vector<Trajectory> trajs(60);
+  for (auto& t : trajs) t.positions.push_back({0, 0});
+  const auto groups = MakeGroups(trajs, 3, 6);
+  ASSERT_EQ(groups.size(), 10u);
+  std::set<const Trajectory*> seen;
+  for (const auto& g : groups) {
+    ASSERT_EQ(g.size(), 3u);
+    for (const Trajectory* t : g) EXPECT_TRUE(seen.insert(t).second);
+  }
+  // m = block uses every trajectory.
+  const auto full = MakeGroups(trajs, 6, 6);
+  ASSERT_EQ(full.size(), 10u);
+}
+
+}  // namespace
+}  // namespace mpn

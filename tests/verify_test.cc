@@ -1,0 +1,177 @@
+// Lemma-1 verification and dominant-distance tests, including the
+// no-false-positives property against sampled location instances.
+#include <gtest/gtest.h>
+
+#include "mpn/verify.h"
+#include "msr_test_util.h"
+#include "util/rng.h"
+
+namespace mpn {
+namespace {
+
+using testutil::IsOptimalMeetingPoint;
+using testutil::SampleRegion;
+
+SafeRegion CircleAt(double x, double y, double r) {
+  return SafeRegion::MakeCircle(Circle({x, y}, r));
+}
+
+TEST(DominantDistanceTest, MatchesDefinition5) {
+  // Two circular regions; dominant distances are maxima of per-region
+  // min/max distances.
+  std::vector<SafeRegion> regions = {CircleAt(0, 0, 1), CircleAt(10, 0, 2)};
+  const Point p{5, 0};
+  EXPECT_DOUBLE_EQ(DominantMinDist(regions, p), 4.0);  // max(4, 3)
+  EXPECT_DOUBLE_EQ(DominantMaxDist(regions, p), 7.0);  // max(6, 7)
+}
+
+TEST(VerifyLemma1Test, PaperFigure6aAnalogue) {
+  // po is close to all regions; p1 is far: Verify must accept.
+  std::vector<SafeRegion> regions = {CircleAt(0, 0, 1), CircleAt(4, 0, 1),
+                                     CircleAt(2, 3, 1)};
+  const Point po{2, 1};
+  const Point p_far{100, 100};
+  EXPECT_TRUE(VerifyLemma1(regions, po, p_far));
+  // A point inside the cluster can violate the conservative test.
+  const Point p_near{2, 0.5};
+  EXPECT_FALSE(VerifyLemma1(regions, po, p_near));
+}
+
+TEST(VerifyLemma1Test, FalseNegativeOfFigure6b) {
+  // Construct the Fig. 6b phenomenon: a region whose min and max distances
+  // are realized by different corners, failing Lemma 1 even though every
+  // actual instance is fine. Region R2 is a wide tile; po and p1 sit on
+  // opposite sides.
+  TileRegion wide({0, 0}, 10.0);
+  wide.Add(GridTile{0, 0, 0});
+  std::vector<SafeRegion> regions = {SafeRegion::MakeTiles(wide)};
+  const Point po{-6, 0};
+  const Point p1{6.2, 0};
+  // ||po,R||_top = dist to far right corner; ||p1,R||_bot = dist to right
+  // edge; the conservative test fails...
+  EXPECT_FALSE(VerifyLemma1(regions, po, p1));
+  // ...although for every sampled location l in R, po may still win or not —
+  // the point of the test is only that Lemma 1 is conservative, which the
+  // soundness property below establishes.
+}
+
+TEST(VerifyLemma1Test, NoFalsePositivesOnSampledInstances) {
+  Rng rng(7001);
+  int accepted = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    const size_t m = static_cast<size_t>(rng.UniformInt(1, 4));
+    std::vector<SafeRegion> regions;
+    std::vector<Point> centers;
+    for (size_t i = 0; i < m; ++i) {
+      const Point c{rng.Uniform(0, 100), rng.Uniform(0, 100)};
+      centers.push_back(c);
+      regions.push_back(
+          SafeRegion::MakeCircle(Circle(c, rng.Uniform(0.5, 8))));
+    }
+    const Point po{rng.Uniform(0, 100), rng.Uniform(0, 100)};
+    const Point p{rng.Uniform(0, 100), rng.Uniform(0, 100)};
+    if (!VerifyLemma1(regions, po, p)) continue;
+    ++accepted;
+    // Accepted: po's dominant distance must be <= p's for all instances.
+    for (int s = 0; s < 50; ++s) {
+      std::vector<Point> locations;
+      for (const SafeRegion& r : regions) {
+        locations.push_back(SampleRegion(r, &rng));
+      }
+      const double d_po = AggDist(po, locations, Objective::kMax);
+      const double d_p = AggDist(p, locations, Objective::kMax);
+      EXPECT_LE(d_po, d_p + 1e-9) << "trial " << trial;
+    }
+  }
+  EXPECT_GT(accepted, 20);  // the test must exercise the accepting branch
+}
+
+TEST(VerifySumTest, NoFalsePositivesOnSampledInstances) {
+  Rng rng(7002);
+  int accepted = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    const size_t m = static_cast<size_t>(rng.UniformInt(1, 4));
+    std::vector<SafeRegion> regions;
+    for (size_t i = 0; i < m; ++i) {
+      const Point c{rng.Uniform(0, 100), rng.Uniform(0, 100)};
+      regions.push_back(
+          SafeRegion::MakeCircle(Circle(c, rng.Uniform(0.5, 8))));
+    }
+    const Point po{rng.Uniform(0, 100), rng.Uniform(0, 100)};
+    const Point p{rng.Uniform(0, 100), rng.Uniform(0, 100)};
+    if (!VerifySumConservative(regions, po, p)) continue;
+    ++accepted;
+    for (int s = 0; s < 50; ++s) {
+      std::vector<Point> locations;
+      for (const SafeRegion& r : regions) {
+        locations.push_back(SampleRegion(r, &rng));
+      }
+      EXPECT_LE(AggDist(po, locations, Objective::kSum),
+                AggDist(p, locations, Objective::kSum) + 1e-9)
+          << "trial " << trial;
+    }
+  }
+  EXPECT_GT(accepted, 20);
+}
+
+TEST(VerifyTest, DispatchesOnObjective) {
+  std::vector<SafeRegion> regions = {CircleAt(0, 0, 1), CircleAt(2, 0, 1)};
+  const Point po{1, 0};
+  const Point far{50, 0};
+  EXPECT_EQ(VerifyConservative(regions, po, far, Objective::kMax),
+            VerifyLemma1(regions, po, far));
+  EXPECT_EQ(VerifyConservative(regions, po, far, Objective::kSum),
+            VerifySumConservative(regions, po, far));
+}
+
+TEST(TileRegionTest, ContainmentAndDistances) {
+  TileRegion region({5, 5}, 2.0);  // origin (4,4), level-0 cell side 2
+  region.Add(GridTile{0, 0, 0});   // [4,6]x[4,6]
+  region.Add(GridTile{0, 1, 0});   // [6,8]x[4,6]
+  EXPECT_TRUE(region.Contains({5, 5}));
+  EXPECT_TRUE(region.Contains({7.9, 4.1}));
+  EXPECT_FALSE(region.Contains({3.9, 5}));
+  EXPECT_FALSE(region.Contains({5, 6.1}));
+  // MinDist: nearest tile; MaxDist: farthest corner over all tiles.
+  EXPECT_DOUBLE_EQ(region.MinDist({3, 5}), 1.0);
+  EXPECT_DOUBLE_EQ(region.MaxDist({4, 5}),
+                   Dist({4, 5}, {8, 4}));  // far corner of the second tile
+  const Rect b = region.Bounds();
+  EXPECT_EQ(b.lo, Vec2(4, 4));
+  EXPECT_EQ(b.hi, Vec2(8, 6));
+}
+
+TEST(TileRegionTest, SubdivisionGeometry) {
+  TileRegion region({0, 0}, 4.0);  // origin (-2,-2)
+  const GridTile root{0, 0, 0};
+  GridTile kids[4];
+  root.Children(kids);
+  // Children tile the parent exactly.
+  const Rect parent = region.TileRect(root);
+  double area = 0.0;
+  for (const GridTile& k : kids) {
+    const Rect r = region.TileRect(k);
+    EXPECT_TRUE(parent.ContainsRect(r));
+    area += r.Area();
+  }
+  EXPECT_DOUBLE_EQ(area, parent.Area());
+  // Grandchildren of the first child stay inside it.
+  GridTile grand[4];
+  kids[0].Children(grand);
+  for (const GridTile& g : grand) {
+    EXPECT_TRUE(region.TileRect(kids[0]).ContainsRect(region.TileRect(g)));
+  }
+}
+
+TEST(TileRegionTest, InitialTileCenteredOnUser) {
+  const Point user{12.5, -3.25};
+  TileRegion region(user, 3.0);
+  region.Add(GridTile{0, 0, 0});
+  const Rect r = region.rects()[0];
+  EXPECT_DOUBLE_EQ(r.Center().x, user.x);
+  EXPECT_DOUBLE_EQ(r.Center().y, user.y);
+  EXPECT_TRUE(region.Contains(user));
+}
+
+}  // namespace
+}  // namespace mpn
