@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Runs every figure-reproduction bench and saves the tables under
+# bench-results/<scale>/, one .txt per harness. Intended for recording
+# perf baselines (see ROADMAP.md "Open items").
+#
+# Usage:  scripts/run_benches.sh [build-dir]
+#         MPN_BENCH_SCALE=full scripts/run_benches.sh
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+SCALE="${MPN_BENCH_SCALE:-quick}"
+OUT_DIR="bench-results/${SCALE}"
+
+if [[ ! -d "${BUILD_DIR}/bench" ]]; then
+  echo "error: ${BUILD_DIR}/bench not found — build first:" >&2
+  echo "  cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j" >&2
+  exit 1
+fi
+
+mkdir -p "${OUT_DIR}"
+BUILD_DIR="$(cd "${BUILD_DIR}" && pwd)"
+OUT_DIR="$(cd "${OUT_DIR}" && pwd)"
+
+for bench in "${BUILD_DIR}"/bench/fig* "${BUILD_DIR}"/bench/ablation_bench; do
+  [[ -x "${bench}" ]] || continue
+  name="$(basename "${bench}")"
+  echo "== ${name} (MPN_BENCH_SCALE=${SCALE})"
+  # Run inside OUT_DIR so the harnesses' fig*.csv side outputs land there
+  # next to the captured tables, not in the caller's cwd.
+  (cd "${OUT_DIR}" && MPN_BENCH_SCALE="${SCALE}" "${bench}") \
+    | tee "${OUT_DIR}/${name}.txt"
+done
+
+echo "Results written to ${OUT_DIR}/"

@@ -85,7 +85,9 @@ TEST_P(GnnParamTest, MatchesBruteForce) {
     }
     // The first result (the optimal meeting point) must match exactly
     // (deterministic tie-breaking by id).
-    if (!got.empty()) EXPECT_EQ(got[0].id, want[0].id);
+    if (!got.empty()) {
+      EXPECT_EQ(got[0].id, want[0].id);
+    }
   }
 }
 
