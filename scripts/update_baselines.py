@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Distills a scripts/run_benches.sh output tree into a baseline JSON.
+
+Usage:
+    scripts/run_benches.sh build              # writes bench-results/quick/
+    scripts/update_baselines.py [quick|full]  # -> bench/baselines/<scale>.json
+
+The baseline bundles every CSV table the harnesses emitted, keyed by file
+stem. Counter columns (updates, packets, tiles, index accesses, digests)
+are deterministic and must match across machines for identical code;
+timing columns (seconds, cpu_ms, rounds/sec) are machine-dependent and are
+listed in "timing_columns" so diff tooling can treat them as informational.
+"""
+import csv
+import json
+import sys
+from pathlib import Path
+
+TIMING_MARKERS = ("second", "cpu", "ms", "time", "/sec", "speedup")
+
+
+def main() -> int:
+    scale = sys.argv[1] if len(sys.argv) > 1 else "quick"
+    repo = Path(__file__).resolve().parent.parent
+    results = repo / "bench-results" / scale
+    if not results.is_dir():
+        print(f"error: {results} not found — run scripts/run_benches.sh first",
+              file=sys.stderr)
+        return 1
+
+    tables = {}
+    timing_columns = {}
+    for path in sorted(results.glob("*.csv")):
+        with path.open(newline="") as f:
+            rows = list(csv.reader(f))
+        if not rows:
+            continue
+        header, data = rows[0], rows[1:]
+        tables[path.stem] = {"columns": header, "rows": data}
+        timing = [c for c in header
+                  if any(m in c.lower() for m in TIMING_MARKERS)]
+        if timing:
+            timing_columns[path.stem] = timing
+
+    out = repo / "bench" / "baselines" / f"{scale}.json"
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(
+        {
+            "scale": scale,
+            "note": ("Reference numbers for perf PRs. Counter columns are "
+                     "deterministic; columns listed under timing_columns "
+                     "depend on the host and are informational."),
+            "timing_columns": timing_columns,
+            "tables": tables,
+        },
+        indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out} ({len(tables)} tables)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,170 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+
+#include "util/macros.h"
+#include "util/timer.h"
+
+namespace mpn {
+
+/// Adapts the thread pool to the core's VerifyExecutor interface.
+/// ThreadPool::ParallelFor already guarantees the worker-count-independent
+/// chunk layout the interface demands.
+class Engine::PoolExecutor : public VerifyExecutor {
+ public:
+  explicit PoolExecutor(ThreadPool* pool) : pool_(pool) {}
+
+  void Run(size_t n, size_t grain,
+           const std::function<void(size_t, size_t)>& body) override {
+    pool_->ParallelFor(n, grain, body);
+  }
+
+ private:
+  ThreadPool* pool_;
+};
+
+Table EngineRoundStats::ToTable() const {
+  Table table({"metric", "rounds", "mean", "min", "max", "total"});
+  const auto row = [&table](const char* name, const RunningStat& s) {
+    table.AddRow({name, std::to_string(s.count()), FormatDouble(s.Mean()),
+                  FormatDouble(s.Min()), FormatDouble(s.Max()),
+                  FormatDouble(s.Sum())});
+  };
+  row("messages/round", messages_per_round);
+  row("recomputes/round", recomputes_per_round);
+  row("seconds/round", round_seconds);
+  return table;
+}
+
+Engine::Engine(const std::vector<Point>* pois, const RTree* tree,
+               const EngineOptions& options)
+    : pois_(pois), tree_(tree), options_(options) {
+  MPN_ASSERT(pois_ != nullptr && tree_ != nullptr);
+  const size_t threads =
+      options_.threads == 0 ? ThreadPool::HardwareThreads() : options_.threads;
+  pool_ = std::make_unique<ThreadPool>(threads);
+  executor_ = std::make_unique<PoolExecutor>(pool_.get());
+}
+
+Engine::~Engine() = default;
+
+uint32_t Engine::AddSession(std::vector<const Trajectory*> group) {
+  MPN_ASSERT_MSG(!ran_, "AddSession after Run");
+  SimOptions session_options = options_.sim;
+  if (options_.parallel_verify) {
+    session_options.server.verify_fanout.executor = executor_.get();
+    session_options.server.verify_fanout.grain = options_.verify_grain;
+    session_options.server.verify_fanout.min_candidates =
+        options_.verify_min_candidates;
+  }
+  const uint32_t id = static_cast<uint32_t>(sessions_.size());
+  sessions_.push_back(std::make_unique<GroupSession>(
+      id, pois_, tree_, std::move(group), session_options));
+  return id;
+}
+
+void Engine::Run() {
+  MPN_ASSERT_MSG(!ran_, "Engine::Run may be called once");
+  ran_ = true;
+
+  // Sessions still running this round, in session-id order. The order of
+  // this list fixes the work partition; which worker claims which session
+  // is irrelevant to the results.
+  std::vector<GroupSession*> live;
+  live.reserve(sessions_.size());
+  for (const auto& s : sessions_) {
+    if (!s->done()) live.push_back(s.get());
+  }
+
+  std::vector<uint8_t> recomputed(sessions_.size(), 0);
+  std::vector<size_t> message_delta(sessions_.size(), 0);
+  while (!live.empty()) {
+    Timer round_timer;
+
+    // Drain this timestamp: every live session ticks as one pool job. The
+    // loop thread only orchestrates (caller_participates = false), so the
+    // configured thread count is exactly the number of threads doing
+    // session work.
+    pool_->ParallelFor(
+        live.size(), 1,
+        [&](size_t begin, size_t end) {
+          for (size_t i = begin; i < end; ++i) {
+            GroupSession* s = live[i];
+            const size_t before = s->metrics().comm.TotalMessages();
+            recomputed[s->id()] = s->Tick() ? 1 : 0;
+            message_delta[s->id()] =
+                s->metrics().comm.TotalMessages() - before;
+          }
+        },
+        /*caller_participates=*/false);
+
+    size_t recomputes = 0;
+    size_t messages = 0;
+    for (const GroupSession* s : live) {
+      recomputes += recomputed[s->id()];
+      messages += message_delta[s->id()];
+    }
+    round_stats_.messages_per_round.Add(static_cast<double>(messages));
+    round_stats_.recomputes_per_round.Add(static_cast<double>(recomputes));
+    round_stats_.round_seconds.Add(round_timer.ElapsedSeconds());
+    ++round_stats_.rounds;
+
+    live.erase(std::remove_if(live.begin(), live.end(),
+                              [](GroupSession* s) { return s->done(); }),
+               live.end());
+  }
+  for (const auto& s : sessions_) s->Finish();
+}
+
+SimMetrics Engine::TotalMetrics() const {
+  SimMetrics total;
+  for (const auto& s : sessions_) total.Merge(s->metrics());
+  return total;
+}
+
+namespace {
+
+/// FNV-1a over a stream of 64-bit words.
+struct Fnv1a {
+  uint64_t hash = 1469598103934665603ULL;
+  void Add(uint64_t word) {
+    for (int i = 0; i < 8; ++i) {
+      hash ^= (word >> (8 * i)) & 0xFF;
+      hash *= 1099511628211ULL;
+    }
+  }
+};
+
+}  // namespace
+
+uint64_t Engine::ResultDigest() const {
+  Fnv1a fnv;
+  for (const auto& s : sessions_) {
+    const SimMetrics& m = s->metrics();
+    fnv.Add(m.timestamps);
+    fnv.Add(m.updates);
+    fnv.Add(m.result_changes);
+    fnv.Add(s->has_result() ? 1 + static_cast<uint64_t>(s->current_po()) : 0);
+    for (size_t t = 0; t < kMessageTypeCount; ++t) {
+      const MessageType type = static_cast<MessageType>(t);
+      fnv.Add(m.comm.messages(type));
+      fnv.Add(m.comm.packets(type));
+      fnv.Add(m.comm.values(type));
+    }
+    fnv.Add(m.msr.tiles_tried);
+    fnv.Add(m.msr.tiles_added);
+    fnv.Add(m.msr.divide_calls);
+    fnv.Add(m.msr.verify.calls);
+    fnv.Add(m.msr.verify.accepted);
+    fnv.Add(m.msr.verify.tile_groups);
+    fnv.Add(m.msr.verify.focal_evals);
+    fnv.Add(m.msr.verify.memo_hits);
+    fnv.Add(m.msr.candidates.retrievals);
+    fnv.Add(m.msr.candidates.candidates_total);
+    fnv.Add(m.msr.candidates.rejected_by_buffer);
+    fnv.Add(m.msr.rtree_node_accesses);
+  }
+  return fnv.hash;
+}
+
+}  // namespace mpn

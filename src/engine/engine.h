@@ -1,0 +1,113 @@
+// Multi-group concurrent server engine.
+//
+// The Engine owns N GroupSessions and a fixed-size thread pool, and drives
+// all sessions through a batched event loop: every round (one timestamp) it
+// drains the per-timestamp location updates of all live sessions in
+// parallel — each session's Tick runs as one job, and within a tick the
+// optional per-user Tile-MSR verification fan-out (ServerConfig::
+// verify_fanout) splits a group's candidate scans across the same pool.
+// Per-round totals (messages, recomputations, wall time) accumulate into
+// util/stats RunningStat tables.
+//
+// Determinism: sessions share only immutable data (POIs, R-tree), each
+// session's work runs on exactly one thread per tick, and the fan-out's
+// chunk layout is independent of the worker count. Everything in
+// SimMetrics except the wall-clock timing fields is therefore bit-identical
+// across thread counts for a fixed seed — ResultDigest() hashes exactly
+// those deterministic fields.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "engine/group_session.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+
+namespace mpn {
+
+/// Engine configuration.
+struct EngineOptions {
+  /// Worker threads in the pool (0 = hardware concurrency).
+  size_t threads = 1;
+  /// Per-session simulation options (server method, horizon, checks).
+  SimOptions sim;
+  /// Fan per-user Tile-MSR candidate verification out across the pool
+  /// inside each recomputation (in addition to the per-group parallelism).
+  bool parallel_verify = false;
+  /// Candidates per fan-out chunk; fixed layout keeps results
+  /// bit-identical across thread counts.
+  size_t verify_grain = 16;
+  /// Minimum candidate-list size before the fan-out engages.
+  size_t verify_min_candidates = 32;
+};
+
+/// Per-round aggregates of one Engine::Run, built on util/stats.
+struct EngineRoundStats {
+  RunningStat messages_per_round;      ///< protocol messages sent per round
+  RunningStat recomputes_per_round;    ///< safe-region recomputations
+  RunningStat round_seconds;           ///< wall time per round
+  size_t rounds = 0;                   ///< timestamps processed
+
+  /// Renders the aggregates as a util/table (one row per metric).
+  Table ToTable() const;
+};
+
+/// Concurrent multi-group server engine.
+class Engine {
+ public:
+  /// `pois` and `tree` are shared, read-only, and must outlive the engine.
+  Engine(const std::vector<Point>* pois, const RTree* tree,
+         const EngineOptions& options);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Registers one group; returns its session id (dense, starting at 0).
+  /// All trajectories must outlive the engine.
+  uint32_t AddSession(std::vector<const Trajectory*> group);
+
+  size_t session_count() const { return sessions_.size(); }
+  size_t thread_count() const { return pool_->thread_count(); }
+
+  /// Runs every session to completion (batched round loop). May be called
+  /// once per engine.
+  void Run();
+
+  /// Per-session metrics (valid after Run).
+  const SimMetrics& session_metrics(uint32_t id) const {
+    return sessions_[id]->metrics();
+  }
+
+  /// POI id of session `id`'s final meeting point.
+  uint32_t session_po(uint32_t id) const { return sessions_[id]->current_po(); }
+
+  /// Merged metrics across all sessions (valid after Run).
+  SimMetrics TotalMetrics() const;
+
+  /// Per-round aggregates (valid after Run).
+  const EngineRoundStats& round_stats() const { return round_stats_; }
+
+  /// FNV-1a hash over every deterministic per-session result field
+  /// (protocol counters, algorithm counters, final meeting point) in
+  /// session order. Identical across thread counts for identical inputs;
+  /// wall-clock fields are excluded.
+  uint64_t ResultDigest() const;
+
+ private:
+  class PoolExecutor;  // VerifyExecutor adapter over the thread pool
+
+  const std::vector<Point>* pois_;
+  const RTree* tree_;
+  EngineOptions options_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<PoolExecutor> executor_;
+  std::vector<std::unique_ptr<GroupSession>> sessions_;
+  EngineRoundStats round_stats_;
+  bool ran_ = false;
+};
+
+}  // namespace mpn

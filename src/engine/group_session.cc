@@ -1,0 +1,130 @@
+#include "engine/group_session.h"
+
+#include <algorithm>
+
+#include "index/gnn.h"
+#include "util/macros.h"
+
+namespace mpn {
+
+GroupSession::GroupSession(uint32_t id, const std::vector<Point>* pois,
+                           const RTree* tree,
+                           std::vector<const Trajectory*> group,
+                           const SimOptions& options)
+    : id_(id),
+      pois_(pois),
+      tree_(tree),
+      group_(std::move(group)),
+      options_(options),
+      server_(pois, tree, options.server) {
+  MPN_ASSERT(!group_.empty());
+  clients_.reserve(group_.size());
+  for (const Trajectory* t : group_) clients_.emplace_back(t);
+  horizon_ = group_.front()->size();
+  for (const Trajectory* t : group_) horizon_ = std::min(horizon_, t->size());
+  if (options_.max_timestamps > 0) {
+    horizon_ = std::min(horizon_, options_.max_timestamps);
+  }
+}
+
+void GroupSession::TriggerUpdate() {
+  const size_t m = clients_.size();
+  ++metrics_.updates;
+
+  // Step 1: the triggering user reports location + motion hint.
+  metrics_.comm.Record(MessageType::kLocationUpdate,
+                       kValuesPerPoint + kValuesPerMotionHint, packet_model_);
+  // Step 2: probe the other users; each replies with location + hint.
+  for (size_t i = 0; i + 1 < m; ++i) {
+    metrics_.comm.Record(MessageType::kProbe, 0, packet_model_);
+    metrics_.comm.Record(MessageType::kProbeReply,
+                         kValuesPerPoint + kValuesPerMotionHint,
+                         packet_model_);
+  }
+
+  // Server recomputation.
+  std::vector<Point> locations;
+  std::vector<MotionHint> hints;
+  locations.reserve(m);
+  hints.reserve(m);
+  for (const MpnClient& c : clients_) {
+    locations.push_back(c.location());
+    hints.push_back(c.Hint());
+  }
+  const double before = server_.compute_seconds();
+  MsrResult result = server_.Recompute(locations, hints);
+  metrics_.server_seconds += server_.compute_seconds() - before;
+
+  if (options_.check_correctness) {
+    // The reported optimum must match brute force (ties by distance allowed).
+    const auto best = FindGnnBruteForce(*pois_, locations,
+                                        options_.server.objective, 1);
+    MPN_ASSERT(!best.empty());
+    const double reported = AggDist(result.po, locations,
+                                    options_.server.objective);
+    MPN_ASSERT_MSG(reported <= best[0].agg + 1e-7 * (1.0 + best[0].agg),
+                   "server reported a non-optimal meeting point");
+    // Every client must be inside its fresh region.
+    for (size_t i = 0; i < m; ++i) {
+      MPN_ASSERT_MSG(result.regions[i].Contains(locations[i]),
+                     "fresh safe region excludes the user's location");
+    }
+  }
+
+  if (!has_result_ || result.po_id != current_po_) {
+    if (has_result_) ++metrics_.result_changes;
+    current_po_ = result.po_id;
+    has_result_ = true;
+  }
+
+  // Step 3: ship po + safe region to every user; tile regions go through
+  // the lossless codec so clients hold exactly the wire representation.
+  for (size_t i = 0; i < m; ++i) {
+    const SafeRegion& region = result.regions[i];
+    const size_t values = kValuesPerPoint + RegionValueCount(region, true);
+    metrics_.comm.Record(MessageType::kResult, values, packet_model_);
+    if (region.is_circle()) {
+      clients_[i].SetRegion(region);
+    } else {
+      const EncodedTileRegion enc = EncodeTileRegion(region.tiles());
+      clients_[i].SetRegion(SafeRegion::MakeTiles(DecodeTileRegion(enc)));
+    }
+  }
+}
+
+void GroupSession::CheckInvariant() const {
+  // Safe-region invariant: while everyone is inside, the last reported
+  // meeting point must still be optimal.
+  bool all_inside = true;
+  std::vector<Point> locations;
+  for (const MpnClient& c : clients_) {
+    locations.push_back(c.location());
+    all_inside = all_inside && c.InsideRegion();
+  }
+  if (!all_inside) return;
+  const auto best = FindGnnBruteForce(*pois_, locations,
+                                      options_.server.objective, 1);
+  const double reported =
+      AggDist((*pois_)[current_po_], locations, options_.server.objective);
+  MPN_ASSERT_MSG(reported <= best[0].agg + 1e-7 * (1.0 + best[0].agg),
+                 "stale meeting point while all users inside regions");
+}
+
+bool GroupSession::Tick() {
+  MPN_ASSERT(!done());
+  const size_t t = next_t_++;
+  for (MpnClient& c : clients_) c.Advance(t);
+  ++metrics_.timestamps;
+  bool violated = !has_result_;
+  for (const MpnClient& c : clients_) {
+    if (!c.InsideRegion()) {
+      violated = true;
+      break;
+    }
+  }
+  if (violated) TriggerUpdate();
+  if (options_.check_correctness && has_result_) CheckInvariant();
+  return violated;
+}
+
+}  // namespace mpn

@@ -1,0 +1,80 @@
+// One group's Fig. 3 protocol round-trip as an independent state machine.
+//
+// A GroupSession owns the server-side computation state (MpnServer) and the
+// client replicas (MpnClient) of a single moving group, and advances them
+// one timestamp per Tick(): advance clients, detect a safe-region
+// violation, and — when violated — run the full update round (steps 1-3 of
+// the protocol, including the lossless tile codec round-trip). Sessions
+// share nothing mutable with each other, so the Engine can run any set of
+// sessions' Ticks concurrently and the per-session results are bit-exact
+// regardless of the thread count or interleaving.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/message.h"
+#include "sim/client.h"
+#include "sim/server.h"
+#include "sim/simulator.h"
+#include "traj/trajectory.h"
+
+namespace mpn {
+
+/// Single-group protocol state machine, driven by the Engine.
+class GroupSession {
+ public:
+  /// All referenced data must outlive the session. All trajectories must be
+  /// at least as long as the simulated horizon.
+  GroupSession(uint32_t id, const std::vector<Point>* pois, const RTree* tree,
+               std::vector<const Trajectory*> group,
+               const SimOptions& options);
+
+  uint32_t id() const { return id_; }
+
+  /// Timestamps this session will simulate (min trajectory length, capped
+  /// by SimOptions::max_timestamps).
+  size_t horizon() const { return horizon_; }
+
+  /// True once every timestamp has been processed.
+  bool done() const { return next_t_ >= horizon_; }
+
+  /// Processes the next timestamp; returns true when the tick triggered a
+  /// safe-region recomputation (a notification round). Must not be called
+  /// when done(); safe to call concurrently with other sessions' Tick but
+  /// never concurrently for the same session.
+  bool Tick();
+
+  /// Pulls the server's accumulated algorithm counters into metrics().
+  /// Call once after the last Tick.
+  void Finish() { metrics_.msr = server_.stats(); }
+
+  /// Metrics accumulated so far.
+  const SimMetrics& metrics() const { return metrics_; }
+
+  /// POI id of the current meeting point (valid after the first update).
+  uint32_t current_po() const { return current_po_; }
+
+  /// True after the first update round.
+  bool has_result() const { return has_result_; }
+
+ private:
+  void TriggerUpdate();
+  void CheckInvariant() const;  // check_correctness mode only
+
+  uint32_t id_;
+  const std::vector<Point>* pois_;
+  const RTree* tree_;
+  std::vector<const Trajectory*> group_;
+  SimOptions options_;
+  MpnServer server_;
+  std::vector<MpnClient> clients_;
+  PacketModel packet_model_;
+  SimMetrics metrics_;
+  size_t horizon_ = 0;
+  size_t next_t_ = 0;
+  bool has_result_ = false;
+  uint32_t current_po_ = 0;
+};
+
+}  // namespace mpn

@@ -19,6 +19,18 @@
 
 namespace mpn {
 
+namespace internal {
+/// Node-access counter, kept thread-local so that concurrent read-only
+/// queries over a shared tree (the engine runs per-group recompute jobs on
+/// a thread pool) neither race nor bleed into each other's accounting: a
+/// before/after delta taken on one thread counts exactly the accesses of
+/// the work that ran between the two reads on that thread. The counter is
+/// shared by all trees a thread touches; delta-based accounting (the only
+/// consumer, see mpn/tile_msr.cc) is unaffected as long as one computation
+/// queries one tree, which holds everywhere in this codebase.
+inline thread_local uint64_t tls_rtree_node_accesses = 0;
+}  // namespace internal
+
 /// Tuning knobs for the R-tree.
 struct RTreeOptions {
   /// Maximum entries per node before a split.
@@ -74,7 +86,7 @@ class RTree {
     while (!stack.empty()) {
       const int32_t idx = stack.back();
       stack.pop_back();
-      ++node_accesses_;
+      ++internal::tls_rtree_node_accesses;
       const Node& node = nodes_[idx];
       if (node.is_leaf) {
         for (size_t i = 0; i < node.points.size(); ++i) {
@@ -100,7 +112,7 @@ class RTree {
   /// Visits (child_handle, child_mbr) pairs of an internal node.
   template <typename Fn>
   void ForEachChild(int32_t node, Fn&& fn) const {
-    ++node_accesses_;
+    ++internal::tls_rtree_node_accesses;
     const Node& n = nodes_[node];
     MPN_DCHECK(!n.is_leaf);
     for (size_t i = 0; i < n.children.size(); ++i) {
@@ -111,18 +123,19 @@ class RTree {
   /// Visits (point, id) pairs of a leaf node.
   template <typename Fn>
   void ForEachLeafEntry(int32_t node, Fn&& fn) const {
-    ++node_accesses_;
+    ++internal::tls_rtree_node_accesses;
     const Node& n = nodes_[node];
     MPN_DCHECK(n.is_leaf);
     for (size_t i = 0; i < n.points.size(); ++i) fn(n.points[i], n.ids[i]);
   }
 
-  /// Cumulative count of node visits across all queries (profiling aid for
-  /// the buffering experiments, Fig. 16/19).
-  uint64_t node_accesses() const { return node_accesses_; }
+  /// Cumulative count of node visits across all queries issued by the
+  /// calling thread (profiling aid for the buffering experiments,
+  /// Fig. 16/19). Thread-local; see internal::tls_rtree_node_accesses.
+  uint64_t node_accesses() const { return internal::tls_rtree_node_accesses; }
 
-  /// Resets the node-access counter.
-  void ResetNodeAccesses() const { node_accesses_ = 0; }
+  /// Resets the calling thread's node-access counter.
+  void ResetNodeAccesses() const { internal::tls_rtree_node_accesses = 0; }
 
   /// Validates structural invariants (MBR containment, fanout bounds,
   /// uniform leaf depth). Aborts on violation; used by tests.
@@ -160,7 +173,6 @@ class RTree {
   std::vector<Node> nodes_;
   int32_t root_ = -1;
   size_t size_ = 0;
-  mutable uint64_t node_accesses_ = 0;
 };
 
 }  // namespace mpn

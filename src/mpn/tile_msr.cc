@@ -13,12 +13,45 @@ namespace {
 constexpr double kMinDelta = 1e-9;
 constexpr double kMaxDelta = 1e14;
 
+// Fans the candidate scan out over the executor in fixed-size chunks.
+// Every chunk early-exits on its first failure; chunk statistics merge into
+// the verifier in chunk order, so for a fixed grain the counters do not
+// depend on how many workers ran the chunks.
+bool ParallelVerifyScan(const std::vector<TileRegion>& regions, size_t user_i,
+                        const Rect& rect,
+                        const std::vector<Candidate>& candidates,
+                        const Point& po, TileVerifier* verifier,
+                        const VerifyFanout& fanout) {
+  const size_t grain = fanout.grain < 1 ? 1 : fanout.grain;
+  const size_t chunk_count = (candidates.size() + grain - 1) / grain;
+  std::vector<VerifyStats> chunk_stats(chunk_count);
+  std::vector<uint8_t> chunk_ok(chunk_count, 1);
+  fanout.executor->Run(
+      candidates.size(), grain, [&](size_t begin, size_t end) {
+        const size_t chunk = begin / grain;
+        for (size_t k = begin; k < end; ++k) {
+          if (!verifier->VerifyTileThreadSafe(regions, user_i, rect,
+                                              candidates[k], po,
+                                              &chunk_stats[chunk])) {
+            chunk_ok[chunk] = 0;
+            break;
+          }
+        }
+      });
+  bool ok = true;
+  for (size_t c = 0; c < chunk_count; ++c) {
+    verifier->MergeStats(chunk_stats[c]);
+    if (!chunk_ok[c]) ok = false;
+  }
+  return ok;
+}
+
 }  // namespace
 
 bool DivideVerify(std::vector<TileRegion>* regions, size_t user_i,
                   const GridTile& tile, const Point& po,
                   CandidateSource* source, TileVerifier* verifier, int level,
-                  MsrStats* stats) {
+                  MsrStats* stats, const VerifyFanout& fanout) {
   ++stats->divide_calls;
   TileRegion& region = (*regions)[user_i];
   const Rect rect = region.TileRect(tile);
@@ -26,10 +59,16 @@ bool DivideVerify(std::vector<TileRegion>* regions, size_t user_i,
   std::vector<Candidate> candidates;
   bool ok = source->GetCandidates(*regions, user_i, rect, &candidates);
   if (ok) {
-    for (const Candidate& c : candidates) {
-      if (!verifier->VerifyTile(*regions, user_i, rect, c, po)) {
-        ok = false;
-        break;
+    if (fanout.executor != nullptr && verifier->parallel_safe() &&
+        candidates.size() >= fanout.min_candidates) {
+      ok = ParallelVerifyScan(*regions, user_i, rect, candidates, po,
+                              verifier, fanout);
+    } else {
+      for (const Candidate& c : candidates) {
+        if (!verifier->VerifyTile(*regions, user_i, rect, c, po)) {
+          ok = false;
+          break;
+        }
       }
     }
   }
@@ -46,7 +85,7 @@ bool DivideVerify(std::vector<TileRegion>* regions, size_t user_i,
   bool flag = false;
   for (const GridTile& child : children) {
     if (DivideVerify(regions, user_i, child, po, source, verifier, level - 1,
-                     stats)) {
+                     stats, fanout)) {
       flag = true;
     }
   }
@@ -147,7 +186,8 @@ MsrResult ComputeTileMsr(const RTree& tree, const std::vector<Point>& users,
         }
         ++out.stats.tiles_tried;
         if (DivideVerify(&regions, i, *cell, out.po, source.get(),
-                         verifier.get(), config.split_level, &out.stats)) {
+                         verifier.get(), config.split_level, &out.stats,
+                         config.fanout)) {
           orderings[i].MarkInserted();
           break;
         }

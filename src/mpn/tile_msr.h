@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -23,6 +24,33 @@ enum class VerifierKind {
   kIt,  ///< exhaustive IT-Verify (MAX only; reference & ablation)
 };
 
+/// Abstract parallel executor for the per-user candidate fan-out inside
+/// Divide-Verify. Implementations (the engine wraps util/thread_pool.h)
+/// must partition [0, n) into chunks of exactly `grain` indices (last chunk
+/// may be short), run body(begin, end) for each — possibly concurrently —
+/// and return only after every chunk finished. The chunk layout must never
+/// depend on the worker count; that is what keeps verification statistics
+/// bit-identical across thread counts.
+class VerifyExecutor {
+ public:
+  virtual ~VerifyExecutor() = default;
+  virtual void Run(size_t n, size_t grain,
+                   const std::function<void(size_t begin, size_t end)>& body) = 0;
+};
+
+/// Knobs of the optional parallel candidate fan-out inside Divide-Verify.
+/// With a null executor the scan is the sequential legacy loop (stops at
+/// the first failing candidate). With an executor, chunks of `grain`
+/// candidates are verified concurrently — each chunk still early-exits, so
+/// counters stay deterministic for a fixed grain.
+struct VerifyFanout {
+  VerifyExecutor* executor = nullptr;
+  size_t grain = 16;
+  /// Below this many candidates the scan stays sequential (fan-out
+  /// overhead would dominate).
+  size_t min_candidates = 32;
+};
+
 /// Configuration of the tile-based safe-region computation.
 struct TileMsrConfig {
   int alpha = 30;         ///< tile limit per user (Table 2 default)
@@ -37,6 +65,9 @@ struct TileMsrConfig {
   /// Fallback cone half-angle for directed ordering when a user supplies no
   /// learned deviation (radians).
   double default_theta = 1.0471975511965976;  // 60 degrees
+  /// Parallel per-user verification fan-out (engine integration; defaults
+  /// to sequential).
+  VerifyFanout fanout;
 };
 
 /// Per-computation statistics (drives the running-time/ablation benches).
@@ -69,10 +100,11 @@ struct MotionHint {
 /// Algorithm 2 (Divide-Verify), exposed for testing. Attempts to add grid
 /// tile `tile` (or sub-tiles down to `level` more splits) to
 /// (*regions)[user_i]. Returns true when at least one tile was inserted.
+/// `fanout` optionally parallelizes the candidate scan (see VerifyFanout).
 bool DivideVerify(std::vector<TileRegion>* regions, size_t user_i,
                   const GridTile& tile, const Point& po,
                   CandidateSource* source, TileVerifier* verifier, int level,
-                  MsrStats* stats);
+                  MsrStats* stats, const VerifyFanout& fanout = {});
 
 /// Algorithm 3 (Tile-MSR). `hints` may be empty (undirected behaviour) or
 /// one entry per user. Falls back to circular regions when the tile side

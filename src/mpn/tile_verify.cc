@@ -11,6 +11,20 @@ namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 }  // namespace
 
+bool TileVerifier::VerifyTileThreadSafe(const std::vector<TileRegion>& regions,
+                                        size_t user_i, const Rect& s,
+                                        const Candidate& cand, const Point& po,
+                                        VerifyStats* stats) const {
+  (void)regions;
+  (void)user_i;
+  (void)s;
+  (void)cand;
+  (void)po;
+  (void)stats;
+  MPN_ASSERT_MSG(false, "VerifyTileThreadSafe on a sequential-only verifier");
+  return false;
+}
+
 // ---------------------------------------------------------------------------
 // MaxGtVerifier (Algorithm 4 / Theorem 2)
 // ---------------------------------------------------------------------------
@@ -18,7 +32,14 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 bool MaxGtVerifier::VerifyTile(const std::vector<TileRegion>& regions,
                                size_t user_i, const Rect& s,
                                const Candidate& cand, const Point& po) {
-  ++stats_.calls;
+  return VerifyTileThreadSafe(regions, user_i, s, cand, po, &stats_);
+}
+
+bool MaxGtVerifier::VerifyTileThreadSafe(const std::vector<TileRegion>& regions,
+                                         size_t user_i, const Rect& s,
+                                         const Candidate& cand, const Point& po,
+                                         VerifyStats* stats) const {
+  ++stats->calls;
   const Point& p = cand.p;
   const size_t m = regions.size();
   const double d_o = s.MaxDist(po);   // dominant max dist of the new tile
@@ -77,13 +98,13 @@ bool MaxGtVerifier::VerifyTile(const std::vector<TileRegion>& regions,
   // Single user: only the new tile matters.
   if (!has_other) {
     const bool ok = d_o <= d_p;
-    if (ok) ++stats_.accepted;
+    if (ok) ++stats->accepted;
     return ok;
   }
 
   // Line 1: Lemma 1 on the whole regions with {s} for user_i.
   if (full_top <= full_bot) {
-    ++stats_.accepted;
+    ++stats->accepted;
     return true;
   }
 
@@ -109,7 +130,7 @@ bool MaxGtVerifier::VerifyTile(const std::vector<TileRegion>& regions,
     }
   }
   const bool case4 = has_role_tile || m_star <= std::max(d_p, n_star);
-  if (case4) ++stats_.accepted;
+  if (case4) ++stats->accepted;
   return case4;
 }
 
@@ -120,7 +141,14 @@ bool MaxGtVerifier::VerifyTile(const std::vector<TileRegion>& regions,
 bool MaxItVerifier::VerifyTile(const std::vector<TileRegion>& regions,
                                size_t user_i, const Rect& s,
                                const Candidate& cand, const Point& po) {
-  ++stats_.calls;
+  return VerifyTileThreadSafe(regions, user_i, s, cand, po, &stats_);
+}
+
+bool MaxItVerifier::VerifyTileThreadSafe(const std::vector<TileRegion>& regions,
+                                         size_t user_i, const Rect& s,
+                                         const Candidate& cand, const Point& po,
+                                         VerifyStats* stats) const {
+  ++stats->calls;
   const Point& p = cand.p;
   const size_t m = regions.size();
 
@@ -137,7 +165,7 @@ bool MaxItVerifier::VerifyTile(const std::vector<TileRegion>& regions,
   const double s_max_po = s.MaxDist(po);
   const double s_min_p = s.MinDist(p);
   for (;;) {
-    ++stats_.tile_groups;
+    ++stats->tile_groups;
     double top = s_max_po, bot = s_min_p;
     for (size_t j = 0; j < m; ++j) {
       if (j == user_i) continue;
@@ -155,7 +183,7 @@ bool MaxItVerifier::VerifyTile(const std::vector<TileRegion>& regions,
     }
     if (j >= m) break;
   }
-  ++stats_.accepted;
+  ++stats->accepted;
   return true;
 }
 

@@ -54,6 +54,30 @@ class TileVerifier {
                           size_t user_i, const Rect& s, const Candidate& cand,
                           const Point& po) = 0;
 
+  /// True when VerifyTileThreadSafe may run concurrently from several
+  /// threads (the engine's per-user candidate fan-out). Back-ends with
+  /// mutable cross-call state (memo tables) return false and are always
+  /// driven sequentially.
+  virtual bool parallel_safe() const { return false; }
+
+  /// Re-entrant verification core: identical decision to VerifyTile but
+  /// accumulates counters into `stats` instead of the member state. Only
+  /// called when parallel_safe() is true.
+  virtual bool VerifyTileThreadSafe(const std::vector<TileRegion>& regions,
+                                    size_t user_i, const Rect& s,
+                                    const Candidate& cand, const Point& po,
+                                    VerifyStats* stats) const;
+
+  /// Folds externally accumulated counters (one fan-out chunk) into the
+  /// member statistics.
+  void MergeStats(const VerifyStats& s) {
+    stats_.calls += s.calls;
+    stats_.accepted += s.accepted;
+    stats_.tile_groups += s.tile_groups;
+    stats_.focal_evals += s.focal_evals;
+    stats_.memo_hits += s.memo_hits;
+  }
+
   /// Called after `s` was accepted for all candidates and inserted;
   /// `new_region_size` is the region's tile count after insertion.
   virtual void OnCommitted(size_t user_i, size_t new_region_size) {
@@ -70,12 +94,20 @@ class TileVerifier {
   VerifyStats stats_;
 };
 
-/// GT-Verify for the MAX objective (Algorithm 4, Theorem 2).
+/// GT-Verify for the MAX objective (Algorithm 4, Theorem 2). Stateless
+/// between calls, so the parallel fan-out is safe.
 class MaxGtVerifier : public TileVerifier {
  public:
   bool VerifyTile(const std::vector<TileRegion>& regions, size_t user_i,
                   const Rect& s, const Candidate& cand,
                   const Point& po) override;
+
+  bool parallel_safe() const override { return true; }
+
+  bool VerifyTileThreadSafe(const std::vector<TileRegion>& regions,
+                            size_t user_i, const Rect& s,
+                            const Candidate& cand, const Point& po,
+                            VerifyStats* stats) const override;
 };
 
 /// IT-Verify for the MAX objective: exhaustive tile-group enumeration.
@@ -89,6 +121,13 @@ class MaxItVerifier : public TileVerifier {
   bool VerifyTile(const std::vector<TileRegion>& regions, size_t user_i,
                   const Rect& s, const Candidate& cand,
                   const Point& po) override;
+
+  bool parallel_safe() const override { return true; }
+
+  bool VerifyTileThreadSafe(const std::vector<TileRegion>& regions,
+                            size_t user_i, const Rect& s,
+                            const Candidate& cand, const Point& po,
+                            VerifyStats* stats) const override;
 
  private:
   uint64_t max_groups_;

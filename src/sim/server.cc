@@ -59,6 +59,7 @@ MsrResult MpnServer::Recompute(const std::vector<Point>& locations,
     tc.buffer_b = config_.buffer_b;
     tc.directed = config_.method != Method::kTile;
     tc.buffered = config_.method == Method::kTileDBuffered;
+    tc.fanout = config_.verify_fanout;
     result = ComputeTileMsr(*tree_, locations, config_.objective, tc, hints);
   }
   compute_seconds_ += timer.ElapsedSeconds();

@@ -27,6 +27,9 @@ struct ServerConfig {
   int alpha = 30;      ///< Table 2 default
   int split_level = 2; ///< Table 2 default
   int buffer_b = 100;  ///< Section 5.4 recommendation
+  /// Per-user verification fan-out; the engine installs its thread pool
+  /// here (see engine/engine.h). Null executor = sequential.
+  VerifyFanout verify_fanout;
 };
 
 /// The application server: owns nothing, computes safe regions on demand.

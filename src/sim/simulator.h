@@ -8,6 +8,11 @@
 // view is exactly what the wire carries. The metrics are the three the
 // paper reports: update frequency, communication cost (packets) and server
 // running time, plus per-algorithm counters.
+//
+// Since the engine layer landed (src/engine), the per-timestamp state
+// machine lives in engine/group_session.h; Simulator and RunGroups are thin
+// fronts that drive a single-threaded Engine so the historical single-group
+// API (and every test built on it) keeps working unchanged.
 #pragma once
 
 #include <vector>
@@ -56,7 +61,8 @@ struct SimOptions {
   bool check_correctness = false;
 };
 
-/// Runs the protocol for one group over its trajectories.
+/// Runs the protocol for one group over its trajectories (a thin Engine
+/// with one session and one thread).
 class Simulator {
  public:
   /// All referenced data must outlive the simulator. All trajectories must
@@ -68,17 +74,10 @@ class Simulator {
   SimMetrics Run();
 
  private:
-  void TriggerUpdate(SimMetrics* metrics);
-
   const std::vector<Point>* pois_;
   const RTree* tree_;
   std::vector<const Trajectory*> group_;
   SimOptions options_;
-  MpnServer server_;
-  std::vector<MpnClient> clients_;
-  PacketModel packet_model_;
-  bool has_result_ = false;
-  uint32_t current_po_ = 0;
 };
 
 /// Convenience: runs every group and returns the group-averaged metrics

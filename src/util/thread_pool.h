@@ -1,0 +1,99 @@
+// Fixed-size thread pool for the concurrent server engine.
+//
+// Two execution primitives:
+//
+//  * Submit(fn)     — enqueues a task and returns a std::future for its
+//    result; exceptions thrown by the task propagate through the future.
+//  * ParallelFor    — partitions [0, n) into fixed-size chunks and runs a
+//    body over each, using the pool AND the calling thread. The chunk
+//    layout depends only on (n, grain), never on the worker count, so any
+//    per-chunk accumulation a caller merges in chunk order is bit-identical
+//    across thread counts — the property the engine's determinism guarantee
+//    rests on. The caller claims chunks itself while it waits, so nested
+//    ParallelFor calls from inside pool tasks cannot deadlock even when
+//    every worker is busy: a saturated pool degrades to the caller running
+//    all chunks inline.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace mpn {
+
+/// Fixed-size worker pool. Threads are started in the constructor and
+/// joined in the destructor; tasks still queued at destruction are drained
+/// before shutdown completes.
+class ThreadPool {
+ public:
+  /// Starts `threads` workers (clamped to at least 1).
+  explicit ThreadPool(size_t threads);
+
+  /// Drains the queue and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  size_t thread_count() const { return workers_.size(); }
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  static size_t HardwareThreads() {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<size_t>(hw);
+  }
+
+  /// Enqueues `fn` and returns a future for its result. Exceptions thrown
+  /// by the task are rethrown by future::get.
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    Enqueue([task]() { (*task)(); });
+    return future;
+  }
+
+  /// Runs body(begin, end) over every chunk [k*grain, min(n, (k+1)*grain))
+  /// of [0, n). Blocks until all chunks completed. The first exception
+  /// (lowest chunk index) is rethrown here. `grain` must be >= 1.
+  ///
+  /// With `caller_participates` (the default) the calling thread claims
+  /// chunks alongside the workers — mandatory when calling from inside a
+  /// pool task (it is what makes nested calls deadlock-free, and the
+  /// calling worker would otherwise idle-block a pool slot). Pass false
+  /// from threads *outside* the pool that must not add an extra executor —
+  /// the engine's round loop does, so that "N threads" means exactly N
+  /// threads doing session work. Exception: a single-chunk call still runs
+  /// inline on the caller (there is never more than one executor active,
+  /// so nothing is oversubscribed and the handoff latency is saved).
+  void ParallelFor(size_t n, size_t grain,
+                   const std::function<void(size_t, size_t)>& body,
+                   bool caller_participates = true);
+
+ private:
+  struct ForState;  // shared chunk-claiming state of one ParallelFor
+
+  void Enqueue(std::function<void()> fn);
+  void WorkerLoop();
+  /// Claims and runs chunks until none remain. Returns once every chunk is
+  /// claimed (not necessarily finished).
+  static void DrainChunks(const std::shared_ptr<ForState>& state);
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace mpn

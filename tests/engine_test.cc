@@ -1,0 +1,325 @@
+// Engine-layer tests: thread-pool primitives, multi-group determinism
+// across thread counts, engine/simulator equivalence, per-round stats, and
+// a 64-group integration run (suites named *Integration* are registered
+// under the `integration` ctest label; everything else is `unit`).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "engine/engine.h"
+#include "sim/simulator.h"
+#include "traj/generators.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace mpn {
+namespace {
+
+// --- Thread pool ------------------------------------------------------------
+
+TEST(ThreadPoolTest, SubmitRunsTaskAndReturnsValue) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.thread_count(), 2u);
+  auto future = pool.Submit([]() { return 6 * 7; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPoolTest, SubmitManyTasksAllComplete) {
+  ThreadPool pool(4);
+  std::atomic<int> sum{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 1; i <= 100; ++i) {
+    futures.push_back(pool.Submit([&sum, i]() { sum += i; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesExceptions) {
+  ThreadPool pool(2);
+  auto future = pool.Submit(
+      []() -> int { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+  // The pool survives a throwing task.
+  EXPECT_EQ(pool.Submit([]() { return 1; }).get(), 1);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 32; ++i) {
+      pool.Submit([&ran]() { ++ran; });
+    }
+    // Destructor must wait for all 32, not drop queued ones.
+  }
+  EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  const size_t n = 1237;
+  std::vector<std::atomic<int>> hits(n);
+  pool.ParallelFor(n, 10, [&hits](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) ++hits[i];
+  });
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolTest, ParallelForChunkLayoutIsGrainAligned) {
+  ThreadPool pool(3);
+  std::mutex mu;
+  std::vector<std::pair<size_t, size_t>> chunks;
+  pool.ParallelFor(105, 16, [&](size_t begin, size_t end) {
+    std::lock_guard<std::mutex> lock(mu);
+    chunks.emplace_back(begin, end);
+  });
+  ASSERT_EQ(chunks.size(), 7u);  // ceil(105/16)
+  for (const auto& [begin, end] : chunks) {
+    EXPECT_EQ(begin % 16, 0u);
+    EXPECT_EQ(end, std::min<size_t>(105, begin + 16));
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForWithoutCallerParticipationStaysOffCaller) {
+  // The engine's round loop relies on this: with caller_participates off
+  // (and more than one chunk), every chunk runs on a pool worker, so the
+  // configured thread count is exactly the number of executors.
+  ThreadPool pool(2);
+  const auto caller = std::this_thread::get_id();
+  std::mutex mu;
+  std::vector<std::thread::id> executors;
+  size_t covered = 0;
+  pool.ParallelFor(
+      100, 10,
+      [&](size_t begin, size_t end) {
+        std::lock_guard<std::mutex> lock(mu);
+        executors.push_back(std::this_thread::get_id());
+        covered += end - begin;
+      },
+      /*caller_participates=*/false);
+  EXPECT_EQ(covered, 100u);
+  for (const auto& id : executors) EXPECT_NE(id, caller);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.ParallelFor(100, 8,
+                                [](size_t begin, size_t) {
+                                  if (begin == 32) {
+                                    throw std::logic_error("chunk failed");
+                                  }
+                                }),
+               std::logic_error);
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  // Saturate the pool with outer chunks that each fan out again; the
+  // caller-participates design must make progress regardless.
+  ThreadPool pool(2);
+  std::atomic<size_t> total{0};
+  pool.ParallelFor(8, 1, [&pool, &total](size_t, size_t) {
+    pool.ParallelFor(50, 4, [&total](size_t begin, size_t end) {
+      total += end - begin;
+    });
+  });
+  EXPECT_EQ(total.load(), 400u);
+}
+
+TEST(ThreadPoolTest, HardwareThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::HardwareThreads(), 1u);
+}
+
+// --- Engine -----------------------------------------------------------------
+
+const Rect kWorld({0, 0}, {20000, 20000});
+
+struct World {
+  std::vector<Point> pois;
+  RTree tree;
+  std::vector<Trajectory> trajs;
+};
+
+World MakeWorld(size_t n_pois, size_t n_groups, size_t timestamps,
+                uint64_t seed) {
+  World w;
+  Rng rng(seed);
+  PoiOptions popt;
+  popt.world = kWorld;
+  popt.clusters = 12;
+  w.pois = GeneratePois(n_pois, popt, &rng);
+  w.tree = RTree::BulkLoad(w.pois);
+  RandomWalkGenerator::Options wopt;
+  wopt.world = kWorld;
+  wopt.mean_speed = 60.0;
+  const RandomWalkGenerator gen(wopt);
+  w.trajs = gen.GenerateGroupedFleet(n_groups * 3, 3, 500.0, timestamps, &rng);
+  return w;
+}
+
+EngineOptions MakeEngineOptions(size_t threads, bool parallel_verify) {
+  EngineOptions opt;
+  opt.threads = threads;
+  opt.parallel_verify = parallel_verify;
+  opt.verify_min_candidates = 2;  // tiny scenes still exercise the fan-out
+  opt.sim.server.method = Method::kTileD;
+  opt.sim.server.alpha = 10;
+  return opt;
+}
+
+uint64_t RunEngine(const World& w, size_t n_groups, size_t threads,
+                   bool parallel_verify, SimMetrics* total = nullptr,
+                   std::vector<SimMetrics>* per_session = nullptr) {
+  Engine engine(&w.pois, &w.tree, MakeEngineOptions(threads, parallel_verify));
+  for (size_t g = 0; g < n_groups; ++g) {
+    engine.AddSession({&w.trajs[3 * g], &w.trajs[3 * g + 1],
+                       &w.trajs[3 * g + 2]});
+  }
+  engine.Run();
+  if (total != nullptr) *total = engine.TotalMetrics();
+  if (per_session != nullptr) {
+    per_session->clear();
+    for (uint32_t id = 0; id < n_groups; ++id) {
+      per_session->push_back(engine.session_metrics(id));
+    }
+  }
+  return engine.ResultDigest();
+}
+
+TEST(EngineTest, BitIdenticalAcrossThreadCounts) {
+  const World w = MakeWorld(300, 6, 200, 0xE7617E);
+  std::vector<SimMetrics> sessions1;
+  const uint64_t d1 = RunEngine(w, 6, 1, false, nullptr, &sessions1);
+  for (size_t threads : {2u, 4u, 7u}) {
+    std::vector<SimMetrics> sessions;
+    const uint64_t d = RunEngine(w, 6, threads, false, nullptr, &sessions);
+    EXPECT_EQ(d, d1) << "digest diverged at " << threads << " threads";
+    ASSERT_EQ(sessions.size(), sessions1.size());
+    for (size_t g = 0; g < sessions.size(); ++g) {
+      EXPECT_EQ(sessions[g].updates, sessions1[g].updates) << "group " << g;
+      EXPECT_EQ(sessions[g].result_changes, sessions1[g].result_changes);
+      EXPECT_EQ(sessions[g].comm.TotalPackets(),
+                sessions1[g].comm.TotalPackets());
+    }
+  }
+}
+
+TEST(EngineTest, BitIdenticalAcrossThreadCountsWithParallelVerify) {
+  const World w = MakeWorld(300, 4, 200, 0xFA2007);
+  const uint64_t d1 = RunEngine(w, 4, 1, true);
+  EXPECT_EQ(RunEngine(w, 4, 2, true), d1);
+  EXPECT_EQ(RunEngine(w, 4, 4, true), d1);
+}
+
+TEST(EngineTest, ParallelVerifyPreservesProtocolBehavior) {
+  // The fan-out changes only how candidate scans are scheduled, never which
+  // tiles are accepted — so the protocol-visible results must match the
+  // sequential scan exactly (verifier call counters may differ: chunks
+  // don't stop at the first failing candidate of the whole list).
+  const World w = MakeWorld(300, 4, 200, 0x5E0);
+  SimMetrics seq, par;
+  RunEngine(w, 4, 1, false, &seq);
+  RunEngine(w, 4, 4, true, &par);
+  EXPECT_EQ(par.updates, seq.updates);
+  EXPECT_EQ(par.result_changes, seq.result_changes);
+  EXPECT_EQ(par.comm.TotalMessages(), seq.comm.TotalMessages());
+  EXPECT_EQ(par.comm.TotalPackets(), seq.comm.TotalPackets());
+  EXPECT_EQ(par.msr.tiles_added, seq.msr.tiles_added);
+}
+
+TEST(EngineTest, MatchesIndependentSimulatorRuns) {
+  // A multi-session engine must produce exactly the merged metrics of the
+  // groups simulated one at a time through the legacy front.
+  const World w = MakeWorld(250, 3, 150, 0xBEEF01);
+  SimMetrics engine_total;
+  RunEngine(w, 3, 2, false, &engine_total);
+  SimOptions opt;
+  opt.server = MakeEngineOptions(1, false).sim.server;
+  SimMetrics legacy;
+  for (size_t g = 0; g < 3; ++g) {
+    Simulator sim(&w.pois, &w.tree,
+                  {&w.trajs[3 * g], &w.trajs[3 * g + 1], &w.trajs[3 * g + 2]},
+                  opt);
+    legacy.Merge(sim.Run());
+  }
+  EXPECT_EQ(engine_total.timestamps, legacy.timestamps);
+  EXPECT_EQ(engine_total.updates, legacy.updates);
+  EXPECT_EQ(engine_total.result_changes, legacy.result_changes);
+  EXPECT_EQ(engine_total.comm.TotalMessages(), legacy.comm.TotalMessages());
+  EXPECT_EQ(engine_total.comm.TotalPackets(), legacy.comm.TotalPackets());
+  EXPECT_EQ(engine_total.msr.tiles_added, legacy.msr.tiles_added);
+  EXPECT_EQ(engine_total.msr.verify.calls, legacy.msr.verify.calls);
+  EXPECT_EQ(engine_total.msr.rtree_node_accesses,
+            legacy.msr.rtree_node_accesses);
+}
+
+TEST(EngineTest, RoundStatsAccountForAllWork) {
+  const World w = MakeWorld(250, 4, 180, 0xC0FFEE);
+  Engine engine(&w.pois, &w.tree, MakeEngineOptions(2, false));
+  for (size_t g = 0; g < 4; ++g) {
+    engine.AddSession({&w.trajs[3 * g], &w.trajs[3 * g + 1],
+                       &w.trajs[3 * g + 2]});
+  }
+  engine.Run();
+  const EngineRoundStats& rs = engine.round_stats();
+  const SimMetrics total = engine.TotalMetrics();
+  EXPECT_EQ(rs.rounds, 180u);  // all horizons equal -> one round per ts
+  EXPECT_EQ(static_cast<size_t>(rs.recomputes_per_round.Sum()),
+            total.updates);
+  EXPECT_EQ(static_cast<size_t>(rs.messages_per_round.Sum()),
+            total.comm.TotalMessages());
+  // First round: no session holds a region yet, so every one recomputes.
+  EXPECT_EQ(static_cast<size_t>(rs.recomputes_per_round.Max()), 4u);
+  // The table renders one row per metric.
+  EXPECT_NE(rs.ToTable().ToString().find("recomputes/round"),
+            std::string::npos);
+}
+
+TEST(EngineTest, SessionsWithDifferentHorizonsFinishIndependently) {
+  const World w = MakeWorld(200, 2, 120, 0xD15C0);
+  EngineOptions opt = MakeEngineOptions(2, false);
+  Engine engine(&w.pois, &w.tree, opt);
+  // Session 0 sees the full 120 timestamps, session 1 only 60.
+  engine.AddSession({&w.trajs[0], &w.trajs[1], &w.trajs[2]});
+  std::vector<Trajectory> short_trajs;
+  for (size_t i = 3; i < 6; ++i) {
+    Trajectory t = w.trajs[i];
+    t.positions.resize(60);
+    short_trajs.push_back(std::move(t));
+  }
+  engine.AddSession({&short_trajs[0], &short_trajs[1], &short_trajs[2]});
+  engine.Run();
+  EXPECT_EQ(engine.session_metrics(0).timestamps, 120u);
+  EXPECT_EQ(engine.session_metrics(1).timestamps, 60u);
+  EXPECT_EQ(engine.round_stats().rounds, 120u);
+}
+
+// --- 64-group integration run (labeled `integration` in ctest) --------------
+
+TEST(EngineIntegrationTest, SixtyFourGroupsDeterministicUnderLoad) {
+  const size_t kGroups = 64;
+  const World w = MakeWorld(800, kGroups, 120, 0x64C0DE);
+  SimMetrics serial_total, parallel_total;
+  const uint64_t d_serial = RunEngine(w, kGroups, 1, false, &serial_total);
+  const uint64_t d_parallel =
+      RunEngine(w, kGroups, ThreadPool::HardwareThreads(), true,
+                &parallel_total);
+  EXPECT_EQ(serial_total.timestamps, kGroups * 120u);
+  EXPECT_GT(serial_total.updates, kGroups);  // every group updates at t=0
+  // Full parallelism (per-group jobs + per-user fan-out) leaves the
+  // protocol results untouched.
+  EXPECT_EQ(parallel_total.updates, serial_total.updates);
+  EXPECT_EQ(parallel_total.comm.TotalPackets(),
+            serial_total.comm.TotalPackets());
+  // And an identically-configured run is bit-identical to itself across
+  // thread counts.
+  EXPECT_EQ(RunEngine(w, kGroups, 2, true), d_parallel);
+  EXPECT_EQ(RunEngine(w, kGroups, 2, false), d_serial);
+}
+
+}  // namespace
+}  // namespace mpn
