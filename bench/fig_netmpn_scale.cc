@@ -1,0 +1,163 @@
+// Road-network scale harness (not a paper figure): the netmpn layer on
+// synthetic grid / random-planar networks as the node count grows far
+// beyond the seed fixtures. For each graph it reports CH preprocessing
+// cost, point-to-point query latency (per-query Dijkstra vs CH), and the
+// group->POI aggregate query (NetworkMpn::Compute) with and without the
+// index — asserting along the way that both paths return bit-identical
+// results, the CH determinism contract.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "netmpn/network_mpn.h"
+#include "traj/generators.h"
+#include "util/macros.h"
+#include "util/timer.h"
+
+namespace mpn {
+namespace bench {
+namespace {
+
+struct ScaleRow {
+  std::string topology;
+  size_t nodes = 0;
+  size_t edges = 0;
+  size_t shortcuts = 0;
+  double build_s = 0.0;
+  double p2p_dijkstra_us = 0.0;
+  double p2p_ch_us = 0.0;
+  double group_dijkstra_ms = 0.0;
+  double group_ch_ms = 0.0;
+  bool identical = true;
+};
+
+ScaleRow RunOne(SyntheticNetworkOptions::Topology topology, size_t nodes,
+                uint64_t seed) {
+  ScaleRow row;
+  row.topology =
+      topology == SyntheticNetworkOptions::Topology::kGrid ? "grid" : "planar";
+  SyntheticNetworkOptions opt;
+  opt.topology = topology;
+  opt.nodes = nodes;
+  Rng rng(seed);
+  const RoadNetwork net = MakeSyntheticNetwork(opt, &rng);
+  row.nodes = net.NodeCount();
+  row.edges = net.EdgeCount();
+
+  Timer build_timer;
+  const CHIndex ch = net.BuildCHIndex();
+  row.build_s = build_timer.ElapsedSeconds();
+  row.shortcuts = ch.ShortcutCount();
+
+  NetworkSpace dijkstra_space(&net);
+  NetworkSpace ch_space(&net);
+  ch_space.AttachIndex(&ch);
+
+  // Point-to-point: random node pairs, both engines, distances bit-equal.
+  const size_t p2p_queries = 64;
+  std::vector<std::pair<uint32_t, uint32_t>> pairs;
+  for (size_t i = 0; i < p2p_queries; ++i) {
+    pairs.push_back({static_cast<uint32_t>(rng.UniformInt(
+                         0, static_cast<int64_t>(net.NodeCount()) - 1)),
+                     static_cast<uint32_t>(rng.UniformInt(
+                         0, static_cast<int64_t>(net.NodeCount()) - 1))});
+  }
+  Timer td;
+  double dsum = 0.0;
+  for (const auto& [s, t] : pairs) dsum += net.ShortestPathDistance(s, t);
+  row.p2p_dijkstra_us =
+      1e6 * td.ElapsedSeconds() / static_cast<double>(p2p_queries);
+  Timer tc;
+  double csum = 0.0;
+  for (const auto& [s, t] : pairs) csum += ch.Distance(s, t);
+  row.p2p_ch_us = 1e6 * tc.ElapsedSeconds() / static_cast<double>(p2p_queries);
+  row.identical = row.identical && dsum == csum;
+
+  // Group->POI aggregate queries: m=4 users, 256 POIs, 8 groups.
+  std::vector<EdgePosition> pois;
+  for (int i = 0; i < 256; ++i) {
+    pois.push_back(RandomEdgePosition(dijkstra_space, &rng));
+  }
+  const NetworkMpn dijkstra_engine(&dijkstra_space, pois);
+  const NetworkMpn ch_engine(&ch_space, pois);
+  std::vector<std::vector<EdgePosition>> groups;
+  for (int g = 0; g < 8; ++g) {
+    std::vector<EdgePosition> users;
+    for (int i = 0; i < 4; ++i) {
+      users.push_back(RandomEdgePosition(dijkstra_space, &rng));
+    }
+    groups.push_back(std::move(users));
+  }
+  std::vector<NetworkMpnResult> dijkstra_results;
+  Timer tg;
+  for (const auto& users : groups) {
+    dijkstra_results.push_back(dijkstra_engine.Compute(users, Objective::kMax));
+  }
+  row.group_dijkstra_ms =
+      1e3 * tg.ElapsedSeconds() / static_cast<double>(groups.size());
+  Timer th;
+  for (size_t g = 0; g < groups.size(); ++g) {
+    const NetworkMpnResult r = ch_engine.Compute(groups[g], Objective::kMax);
+    row.identical = row.identical &&
+                    r.po_index == dijkstra_results[g].po_index &&
+                    r.po_agg == dijkstra_results[g].po_agg &&
+                    r.rmax == dijkstra_results[g].rmax;
+  }
+  row.group_ch_ms =
+      1e3 * th.ElapsedSeconds() / static_cast<double>(groups.size());
+  MPN_ASSERT_MSG(row.identical, "CH results diverged from Dijkstra");
+  return row;
+}
+
+void Run() {
+  const BenchEnv env = GetBenchEnv();
+  std::printf("netmpn scale — CH index vs per-query Dijkstra\n");
+  std::printf("scale=%s  (MPN_BENCH_SCALE=full adds the 10^5-node graphs)\n",
+              env.full ? "full" : "quick");
+
+  using Topology = SyntheticNetworkOptions::Topology;
+  std::vector<std::pair<Topology, size_t>> configs = {
+      {Topology::kGrid, 4096},
+      {Topology::kRandomPlanar, 4096},
+      {Topology::kGrid, 16384},
+      {Topology::kRandomPlanar, 16384},
+  };
+  if (env.full) {
+    configs.push_back({Topology::kGrid, 102400});
+    configs.push_back({Topology::kRandomPlanar, 102400});
+  }
+
+  // Timing column names must hit scripts/update_baselines.py's
+  // TIMING_MARKERS so baseline diff tooling treats them as host-dependent.
+  Table table({"topology", "nodes", "edges", "shortcuts", "build_seconds",
+               "p2p_dijkstra_time_us", "p2p_ch_time_us", "p2p_speedup",
+               "group_dijkstra_ms", "group_ch_ms", "group_speedup",
+               "identical"});
+  for (const auto& [topology, nodes] : configs) {
+    const ScaleRow r = RunOne(topology, nodes, 0xD15C0 + nodes);
+    table.AddRow(
+        {r.topology, std::to_string(r.nodes), std::to_string(r.edges),
+         std::to_string(r.shortcuts), FormatDouble(r.build_s, 3),
+         FormatDouble(r.p2p_dijkstra_us, 1), FormatDouble(r.p2p_ch_us, 1),
+         FormatDouble(r.p2p_ch_us > 0 ? r.p2p_dijkstra_us / r.p2p_ch_us : 0.0,
+                      1),
+         FormatDouble(r.group_dijkstra_ms, 2), FormatDouble(r.group_ch_ms, 2),
+         FormatDouble(r.group_ch_ms > 0
+                          ? r.group_dijkstra_ms / r.group_ch_ms
+                          : 0.0,
+                      1),
+         r.identical ? "yes" : "NO"});
+  }
+  table.Print("netmpn scale — CH vs Dijkstra (m=4, N=256 POIs, MAX)");
+  table.WriteCsv("fig_netmpn_scale.csv");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace mpn
+
+int main() {
+  mpn::bench::Run();
+  return 0;
+}

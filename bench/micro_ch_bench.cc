@@ -1,0 +1,175 @@
+// Micro benchmarks for the Contraction Hierarchies index: point-to-point
+// query latency vs per-query Dijkstra on synthetic road networks of 10^4+
+// nodes (the acceptance headline — CH must be >= 10x faster), the
+// group->POI many-to-many batch, and preprocessing cost.
+//
+// BM_P2P_SpeedupSummary prints the measured ratio directly as counters
+// (dijkstra_us, ch_us, speedup), with distances cross-checked bit-equal.
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "index/ch.h"
+#include "netmpn/network_mpn.h"
+#include "traj/generators.h"
+#include "traj/road_network.h"
+#include "util/macros.h"
+#include "util/timer.h"
+
+namespace mpn {
+namespace {
+
+/// The 10^5-node graph only runs at MPN_BENCH_SCALE=full (its CH build is
+/// a one-off cost the quick CI budget should not pay).
+bool FullScale() {
+  const char* s = std::getenv("MPN_BENCH_SCALE");
+  return s != nullptr && std::string(s) == "full";
+}
+
+void P2PArgs(benchmark::internal::Benchmark* b) {
+  b->Arg(16384);
+  b->Arg(32400);
+  if (FullScale()) b->Arg(102400);
+}
+
+struct ChFixtureData {
+  RoadNetwork net;
+  CHIndex ch;
+  std::vector<std::pair<uint32_t, uint32_t>> pairs;
+};
+
+/// Grid network of `nodes` (rounded to a square) with the CH built once.
+const ChFixtureData& Fixture(size_t nodes) {
+  static std::map<size_t, ChFixtureData> cache;
+  auto& f = cache[nodes];
+  if (f.net.NodeCount() == 0) {
+    SyntheticNetworkOptions opt;
+    opt.topology = SyntheticNetworkOptions::Topology::kGrid;
+    opt.nodes = nodes;
+    Rng rng(0xC41);
+    f.net = MakeSyntheticNetwork(opt, &rng);
+    f.ch = f.net.BuildCHIndex();
+    Rng prng(0xC42);
+    for (int i = 0; i < 256; ++i) {
+      f.pairs.push_back(
+          {static_cast<uint32_t>(prng.UniformInt(
+               0, static_cast<int64_t>(f.net.NodeCount()) - 1)),
+           static_cast<uint32_t>(prng.UniformInt(
+               0, static_cast<int64_t>(f.net.NodeCount()) - 1))});
+    }
+    // The determinism contract, spot-checked right where we benchmark.
+    for (int i = 0; i < 16; ++i) {
+      const auto [s, t] = f.pairs[i];
+      MPN_ASSERT(f.ch.Distance(s, t) == f.net.ShortestPathDistance(s, t));
+    }
+  }
+  return f;
+}
+
+void BM_P2P_Dijkstra(benchmark::State& state) {
+  const auto& f = Fixture(static_cast<size_t>(state.range(0)));
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto [s, t] = f.pairs[i++ % f.pairs.size()];
+    benchmark::DoNotOptimize(f.net.ShortestPathDistance(s, t));
+  }
+  state.counters["nodes"] = static_cast<double>(f.net.NodeCount());
+}
+BENCHMARK(BM_P2P_Dijkstra)->Apply(P2PArgs)->Unit(benchmark::kMicrosecond);
+
+void BM_P2P_CH(benchmark::State& state) {
+  const auto& f = Fixture(static_cast<size_t>(state.range(0)));
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto [s, t] = f.pairs[i++ % f.pairs.size()];
+    benchmark::DoNotOptimize(f.ch.Distance(s, t));
+  }
+  state.counters["nodes"] = static_cast<double>(f.net.NodeCount());
+  state.counters["shortcuts"] = static_cast<double>(f.ch.ShortcutCount());
+}
+BENCHMARK(BM_P2P_CH)->Apply(P2PArgs)->Unit(benchmark::kMicrosecond);
+
+// One self-contained run that reports the ratio the acceptance criterion
+// asks for: >= 10x over per-query Dijkstra on a >= 10^4-node graph.
+void BM_P2P_SpeedupSummary(benchmark::State& state) {
+  const auto& f = Fixture(static_cast<size_t>(state.range(0)));
+  const size_t k = f.pairs.size();
+  double dijkstra_s = 0.0, ch_s = 0.0;
+  for (auto _ : state) {
+    Timer td;
+    double sink = 0.0;
+    for (size_t i = 0; i < k; ++i) {
+      sink += f.net.ShortestPathDistance(f.pairs[i].first, f.pairs[i].second);
+    }
+    dijkstra_s = td.ElapsedSeconds();
+    Timer tc;
+    double sink2 = 0.0;
+    for (size_t i = 0; i < k; ++i) {
+      sink2 += f.ch.Distance(f.pairs[i].first, f.pairs[i].second);
+    }
+    ch_s = tc.ElapsedSeconds();
+    MPN_ASSERT(sink == sink2);  // bit-identical, summed in the same order
+    benchmark::DoNotOptimize(sink2);
+  }
+  state.counters["dijkstra_us"] = 1e6 * dijkstra_s / static_cast<double>(k);
+  state.counters["ch_us"] = 1e6 * ch_s / static_cast<double>(k);
+  state.counters["speedup"] = ch_s > 0.0 ? dijkstra_s / ch_s : 0.0;
+}
+BENCHMARK(BM_P2P_SpeedupSummary)->Apply(P2PArgs)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+// The netmpn group->POI aggregate query: one Compute (m users x N POIs).
+void BM_GroupCompute(benchmark::State& state, bool use_ch) {
+  const auto& f = Fixture(16384);
+  NetworkSpace space(&f.net);
+  if (use_ch) space.AttachIndex(&f.ch);
+  Rng rng(0xC43);
+  std::vector<EdgePosition> pois;
+  for (int i = 0; i < 256; ++i) pois.push_back(RandomEdgePosition(space, &rng));
+  const NetworkMpn engine(&space, pois);
+  std::vector<std::vector<EdgePosition>> groups;
+  for (int g = 0; g < 16; ++g) {
+    std::vector<EdgePosition> users;
+    for (int i = 0; i < 4; ++i) users.push_back(RandomEdgePosition(space, &rng));
+    groups.push_back(std::move(users));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    const NetworkMpnResult r =
+        engine.Compute(groups[i++ % groups.size()], Objective::kMax);
+    benchmark::DoNotOptimize(r.po_agg);
+  }
+}
+void BM_GroupCompute_Dijkstra(benchmark::State& state) {
+  BM_GroupCompute(state, false);
+}
+void BM_GroupCompute_CH(benchmark::State& state) {
+  BM_GroupCompute(state, true);
+}
+BENCHMARK(BM_GroupCompute_Dijkstra)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GroupCompute_CH)->Unit(benchmark::kMillisecond);
+
+void BM_BuildCH(benchmark::State& state) {
+  SyntheticNetworkOptions opt;
+  opt.nodes = static_cast<size_t>(state.range(0));
+  Rng rng(0xC44);
+  const RoadNetwork net = MakeSyntheticNetwork(opt, &rng);
+  size_t shortcuts = 0;
+  for (auto _ : state) {
+    const CHIndex ch = net.BuildCHIndex();
+    shortcuts = ch.ShortcutCount();
+    benchmark::DoNotOptimize(shortcuts);
+  }
+  state.counters["shortcuts"] = static_cast<double>(shortcuts);
+}
+void BuildArgs(benchmark::internal::Benchmark* b) {
+  b->Arg(4096);
+  if (FullScale()) b->Arg(16384);
+}
+BENCHMARK(BM_BuildCH)->Apply(BuildArgs)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace mpn

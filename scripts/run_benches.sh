@@ -31,4 +31,15 @@ for bench in "${BUILD_DIR}"/bench/fig* "${BUILD_DIR}"/bench/ablation_bench; do
     | tee "${OUT_DIR}/${name}.txt"
 done
 
+# The CH micro bench feeds the perf baseline too (the >= 10x point-to-point
+# speedup criterion lives in its counters), so capture it as JSON when the
+# Google-Benchmark binaries were built.
+CH_BENCH="${BUILD_DIR}/bench/micro_ch_bench"
+if [[ -x "${CH_BENCH}" ]]; then
+  echo "== micro_ch_bench (MPN_BENCH_SCALE=${SCALE})"
+  (cd "${OUT_DIR}" && MPN_BENCH_SCALE="${SCALE}" "${CH_BENCH}" \
+      --benchmark_out=micro_ch_bench.json --benchmark_out_format=json) \
+    | tee "${OUT_DIR}/micro_ch_bench.txt"
+fi
+
 echo "Results written to ${OUT_DIR}/"

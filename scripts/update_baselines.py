@@ -10,6 +10,15 @@ stem. Counter columns (updates, packets, tiles, index accesses, digests)
 are deterministic and must match across machines for identical code;
 timing columns (seconds, cpu_ms, rounds/sec) are machine-dependent and are
 listed in "timing_columns" so diff tooling can treat them as informational.
+
+Google-Benchmark JSON dumps in the results tree (micro_ch_bench.json) are
+folded into a "micro" section: per-benchmark real time plus counters (the
+CH bench's `speedup` counter is the >= 10x acceptance number). All micro
+numbers are timing-dependent, so the whole section is informational.
+
+CI runs this after the Release-job bench sweep and uploads the regenerated
+JSON as the `bench-baselines-ci` artifact — the ROADMAP's "capture real
+4-core CI numbers" loop: download it from a trusted run and check it in.
 """
 import csv
 import json
@@ -42,6 +51,38 @@ def main() -> int:
         if timing:
             timing_columns[path.stem] = timing
 
+    micro = {}
+    for path in sorted(results.glob("*.json")):
+        with path.open() as f:
+            try:
+                dump = json.load(f)
+            except json.JSONDecodeError:
+                continue
+        benchmarks = dump.get("benchmarks")
+        if not isinstance(benchmarks, list):
+            continue
+        # Everything that is not known Google-Benchmark metadata is a
+        # user counter; keep them all so new counters land automatically.
+        metadata_keys = {
+            "name", "run_name", "run_type", "family_index",
+            "per_family_instance_index", "repetitions", "repetition_index",
+            "threads", "iterations", "real_time", "cpu_time", "time_unit",
+            "aggregate_name", "aggregate_unit", "label", "error_occurred",
+            "error_message",
+        }
+        entries = []
+        for b in benchmarks:
+            entry = {
+                "name": b.get("name"),
+                "real_time": b.get("real_time"),
+                "time_unit": b.get("time_unit"),
+            }
+            counters = {k: v for k, v in b.items() if k not in metadata_keys}
+            if counters:
+                entry["counters"] = counters
+            entries.append(entry)
+        micro[path.stem] = entries
+
     out = repo / "bench" / "baselines" / f"{scale}.json"
     out.parent.mkdir(parents=True, exist_ok=True)
     out.write_text(json.dumps(
@@ -49,12 +90,14 @@ def main() -> int:
             "scale": scale,
             "note": ("Reference numbers for perf PRs. Counter columns are "
                      "deterministic; columns listed under timing_columns "
-                     "depend on the host and are informational."),
+                     "and everything under micro depend on the host and "
+                     "are informational."),
             "timing_columns": timing_columns,
             "tables": tables,
+            "micro": micro,
         },
         indent=2, sort_keys=True) + "\n")
-    print(f"wrote {out} ({len(tables)} tables)")
+    print(f"wrote {out} ({len(tables)} tables, {len(micro)} micro dumps)")
     return 0
 
 

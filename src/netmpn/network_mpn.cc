@@ -12,6 +12,108 @@ NetworkMpn::NetworkMpn(const NetworkSpace* space,
   MPN_ASSERT(space_ != nullptr);
   MPN_ASSERT(!pois_.empty());
   for (const EdgePosition& p : pois_) MPN_ASSERT(space_->IsValid(p));
+  EnsurePoiTargets();
+}
+
+void NetworkMpn::EnsurePoiTargets() const {
+  const CHIndex* index = space_->index();
+  if (index == target_index_) return;
+  poi_slots_.clear();
+  poi_targets_ = CHIndex::TargetSet();
+  if (index != nullptr) {
+    // Deduplicated POI edge endpoints; the backward searches and buckets
+    // are computed once here and reused by every group query.
+    std::vector<uint32_t> targets;
+    std::vector<uint32_t> slot_of(space_->NodeCount(), 0xFFFFFFFFu);
+    auto slot = [&](uint32_t node) -> uint32_t {
+      if (slot_of[node] == 0xFFFFFFFFu) {
+        slot_of[node] = static_cast<uint32_t>(targets.size());
+        targets.push_back(node);
+      }
+      return slot_of[node];
+    };
+    poi_slots_.reserve(pois_.size());
+    for (const EdgePosition& p : pois_) {
+      const NetworkSpace::Edge& e = space_->edge(p.edge_id);
+      poi_slots_.push_back({slot(e.a), slot(e.b)});
+    }
+    poi_targets_ = index->MakeTargetSet(targets);
+  }
+  // Published last, so a rebuild in flight can never satisfy another
+  // caller's cache check while the slot/bucket data is still half-built.
+  target_index_ = index;
+}
+
+std::vector<std::vector<double>> NetworkMpn::UserPoiDistances(
+    const std::vector<EdgePosition>& users) const {
+  std::vector<std::vector<double>> matrix(users.size());
+  EnsurePoiTargets();
+  if (target_index_ != nullptr) {
+    // One CH many-to-many batch per user against the precomputed POI
+    // endpoint buckets.
+    std::vector<double> node_d;
+    for (size_t i = 0; i < users.size(); ++i) {
+      space_->DistancesToTargets(users[i], poi_targets_, &node_d);
+      std::vector<double>& row = matrix[i];
+      row.resize(pois_.size());
+      for (size_t j = 0; j < pois_.size(); ++j) {
+        const EdgePosition& p = pois_[j];
+        const NetworkSpace::Edge& e = space_->edge(p.edge_id);
+        double d = std::min(node_d[poi_slots_[j].first] + p.offset,
+                            node_d[poi_slots_[j].second] +
+                                (e.length - p.offset));
+        if (p.edge_id == users[i].edge_id) {
+          d = std::min(d, std::abs(p.offset - users[i].offset));
+        }
+        row[j] = d;
+      }
+    }
+  } else {
+    for (size_t i = 0; i < users.size(); ++i) {
+      const std::vector<double> nd = space_->NodeDistancesFrom(users[i]);
+      std::vector<double>& row = matrix[i];
+      row.resize(pois_.size());
+      for (size_t j = 0; j < pois_.size(); ++j) {
+        row[j] = space_->DistanceVia(nd, users[i], pois_[j]);
+      }
+    }
+  }
+  return matrix;
+}
+
+namespace {
+
+/// Aggregate of POI j's column of the users x pois distance matrix,
+/// accumulated in user order — the same fold AggNetworkDist performs, so
+/// the matrix paths stay bit-identical to the oracle.
+double AggFromMatrix(const std::vector<std::vector<double>>& matrix,
+                     size_t poi_index, Objective obj) {
+  double agg = 0.0;
+  for (size_t i = 0; i < matrix.size(); ++i) {
+    const double d = matrix[i][poi_index];
+    agg = obj == Objective::kMax ? std::max(agg, d) : agg + d;
+  }
+  return agg;
+}
+
+}  // namespace
+
+std::vector<NetworkMpn::PoiRank> NetworkMpn::NearestPOIs(
+    const std::vector<EdgePosition>& users, Objective obj, size_t k) const {
+  MPN_ASSERT(!users.empty());
+  const std::vector<std::vector<double>> matrix = UserPoiDistances(users);
+  std::vector<PoiRank> ranks;
+  ranks.reserve(pois_.size());
+  for (size_t j = 0; j < pois_.size(); ++j) {
+    ranks.push_back({static_cast<uint32_t>(j), AggFromMatrix(matrix, j, obj)});
+  }
+  std::sort(ranks.begin(), ranks.end(),
+            [](const PoiRank& x, const PoiRank& y) {
+              if (x.agg != y.agg) return x.agg < y.agg;
+              return x.poi_index < y.poi_index;
+            });
+  if (ranks.size() > k) ranks.resize(k);
+  return ranks;
 }
 
 double NetworkMpn::AggNetworkDist(
@@ -29,17 +131,15 @@ double NetworkMpn::AggNetworkDist(
 NetworkMpnResult NetworkMpn::Compute(const std::vector<EdgePosition>& users,
                                      Objective obj) const {
   MPN_ASSERT(!users.empty());
-  std::vector<std::vector<double>> node_dists;
-  node_dists.reserve(users.size());
-  for (const EdgePosition& u : users) {
-    node_dists.push_back(space_->NodeDistancesFrom(u));
-  }
+  // CH batch when the space has an index, per-user Dijkstra otherwise;
+  // the matrix (and so the result) is bit-identical either way.
+  const std::vector<std::vector<double>> matrix = UserPoiDistances(users);
   NetworkMpnResult out;
   double best = 0.0, second = 0.0;
   size_t best_idx = 0;
   bool have_best = false, have_second = false;
   for (size_t j = 0; j < pois_.size(); ++j) {
-    const double agg = AggNetworkDist(j, node_dists, users, obj);
+    const double agg = AggFromMatrix(matrix, j, obj);
     if (!have_best || agg < best) {
       second = best;
       have_second = have_best;

@@ -37,25 +37,55 @@ struct NetworkMpnResult {
 class NetworkMpn {
  public:
   /// The space must outlive the engine; POIs are fixed at construction.
+  /// When the space has a CH index attached, the POI edge endpoints are
+  /// precomputed into a CH target set once, and every group query becomes
+  /// one many-to-many batch instead of one Dijkstra per user.
   NetworkMpn(const NetworkSpace* space, std::vector<EdgePosition> pois);
 
   const std::vector<EdgePosition>& pois() const { return pois_; }
 
   /// Aggregate network distance of POI `j` to the users, given per-user
-  /// node-distance tables.
+  /// node-distance tables (the Dijkstra correctness oracle).
   double AggNetworkDist(size_t poi_index,
                         const std::vector<std::vector<double>>& node_dists,
                         const std::vector<EdgePosition>& users,
                         Objective obj) const;
 
-  /// Computes the optimal meeting point and metric-ball safe regions.
-  /// Runs one Dijkstra per user and scans the POIs (exact).
+  /// users x pois network-distance matrix: one CH batch per user when the
+  /// space has an index, else one Dijkstra per user. Bit-identical values
+  /// either way.
+  std::vector<std::vector<double>> UserPoiDistances(
+      const std::vector<EdgePosition>& users) const;
+
+  /// One ranked POI of a group->POI aggregate query.
+  struct PoiRank {
+    uint32_t poi_index;
+    double agg;
+  };
+
+  /// The k POIs with the smallest aggregate network distance (ascending,
+  /// ties by index) — the network GNN query, CH-accelerated when an index
+  /// is attached.
+  std::vector<PoiRank> NearestPOIs(const std::vector<EdgePosition>& users,
+                                   Objective obj, size_t k) const;
+
+  /// Computes the optimal meeting point and metric-ball safe regions
+  /// (exact; scans the POIs via UserPoiDistances).
   NetworkMpnResult Compute(const std::vector<EdgePosition>& users,
                            Objective obj) const;
 
  private:
+  /// (Re)builds the cached POI target set when the space's index changed.
+  /// Lazy and not thread-safe on first use; call once up front (any query
+  /// does) before sharing the engine across threads.
+  void EnsurePoiTargets() const;
+
   const NetworkSpace* space_;
   std::vector<EdgePosition> pois_;
+  mutable const CHIndex* target_index_ = nullptr;
+  mutable CHIndex::TargetSet poi_targets_;
+  // Per POI: indices of its edge endpoints (a, b) in the target set.
+  mutable std::vector<std::pair<uint32_t, uint32_t>> poi_slots_;
 };
 
 /// A trajectory over the network: one edge position per timestamp.

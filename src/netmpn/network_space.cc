@@ -1,6 +1,7 @@
 #include "netmpn/network_space.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <queue>
 
@@ -103,29 +104,87 @@ uint32_t NetworkSpace::EdgeBetween(uint32_t a, uint32_t b) const {
   return 0;
 }
 
-std::vector<double> NetworkSpace::NodeDistancesFrom(
-    const EdgePosition& src) const {
+// Per-thread reusable Dijkstra workspace: stamped distance array (O(1)
+// reset), a heap vector, and the touched-node list. Reusing it across
+// queries removes the per-query O(n) allocate-and-fill that dominated the
+// old fallback path, and bounded queries (metric balls) only ever pay for
+// the nodes they actually reach.
+struct NetworkSpace::DijkstraScratch {
+  std::vector<double> dist;
+  std::vector<uint32_t> stamp;
+  uint32_t cur = 0;
+  std::vector<std::pair<double, uint32_t>> heap;
+  std::vector<uint32_t> touched;
+
+  void Prepare(size_t n) {
+    if (dist.size() < n) {
+      dist.resize(n);
+      stamp.assign(n, 0);
+      cur = 0;
+    }
+    heap.clear();
+    touched.clear();
+    if (++cur == 0) {  // stamp wrap: invalidate everything once
+      std::fill(stamp.begin(), stamp.end(), 0);
+      cur = 1;
+    }
+  }
+  bool Reached(uint32_t v) const { return stamp[v] == cur; }
+  double Get(uint32_t v) const { return Reached(v) ? dist[v] : kInf; }
+  void Set(uint32_t v, double d) {
+    if (!Reached(v)) {
+      stamp[v] = cur;
+      touched.push_back(v);
+    }
+    dist[v] = d;
+  }
+};
+
+NetworkSpace::DijkstraScratch& NetworkSpace::TlsScratch() {
+  static thread_local DijkstraScratch s;
+  return s;
+}
+
+void NetworkSpace::RunDijkstra(const EdgePosition& src, double bound,
+                               uint32_t stop_a, uint32_t stop_b,
+                               DijkstraScratch* s) const {
   MPN_DCHECK(IsValid(src));
-  std::vector<double> dist(network_->NodeCount(), kInf);
-  using QE = std::pair<double, uint32_t>;
-  std::priority_queue<QE, std::vector<QE>, std::greater<QE>> pq;
+  s->Prepare(network_->NodeCount());
+  const auto cmp = std::greater<std::pair<double, uint32_t>>();
   const Edge& e = edges_[src.edge_id];
-  dist[e.a] = src.offset;
-  dist[e.b] = e.length - src.offset;
-  pq.push({dist[e.a], e.a});
-  pq.push({dist[e.b], e.b});
-  while (!pq.empty()) {
-    const auto [d, u] = pq.top();
-    pq.pop();
-    if (d > dist[u]) continue;
+  s->Set(e.a, src.offset);
+  s->Set(e.b, e.length - src.offset);
+  s->heap.push_back({s->Get(e.a), e.a});
+  std::push_heap(s->heap.begin(), s->heap.end(), cmp);
+  s->heap.push_back({s->Get(e.b), e.b});
+  std::push_heap(s->heap.begin(), s->heap.end(), cmp);
+  int stops_left = (stop_a != kNoStop) + (stop_b != kNoStop && stop_b != stop_a);
+  while (!s->heap.empty()) {
+    std::pop_heap(s->heap.begin(), s->heap.end(), cmp);
+    const auto [d, u] = s->heap.back();
+    s->heap.pop_back();
+    if (d > s->dist[u]) continue;  // stale entry
+    if (d > bound) break;
+    if (u == stop_a || u == stop_b) {
+      if (--stops_left == 0) break;
+    }
     for (const auto& [v, w] : network_->Neighbors(u)) {
       const double nd = d + w;
-      if (nd < dist[v]) {
-        dist[v] = nd;
-        pq.push({nd, v});
+      if (nd < s->Get(v)) {
+        s->Set(v, nd);
+        s->heap.push_back({nd, v});
+        std::push_heap(s->heap.begin(), s->heap.end(), cmp);
       }
     }
   }
+}
+
+std::vector<double> NetworkSpace::NodeDistancesFrom(
+    const EdgePosition& src) const {
+  DijkstraScratch& s = TlsScratch();
+  RunDijkstra(src, kInf, kNoStop, kNoStop, &s);
+  std::vector<double> dist(network_->NodeCount(), kInf);
+  for (uint32_t v : s.touched) dist[v] = s.dist[v];
   return dist;
 }
 
@@ -143,7 +202,36 @@ double NetworkSpace::DistanceVia(const std::vector<double>& node_dist,
 
 double NetworkSpace::Distance(const EdgePosition& a,
                               const EdgePosition& b) const {
-  return DistanceVia(NodeDistancesFrom(a), a, b);
+  const Edge& eb = edges_[b.edge_id];
+  double d;
+  if (index_ != nullptr) {
+    // CH route: one mu-terminated bidirectional search seeded with both
+    // edge positions' endpoint offsets.
+    const auto sa = SeedsOf(a);
+    const auto sb = SeedsOf(b);
+    d = index_->SeededDistance({sa[0], sa[1]}, {sb[0], sb[1]});
+  } else {
+    // Fallback: Dijkstra, stopped as soon as both endpoints of b's edge
+    // are settled.
+    DijkstraScratch& s = TlsScratch();
+    RunDijkstra(a, kInf, eb.a, eb.b, &s);
+    d = std::min(s.Get(eb.a) + b.offset,
+                 s.Get(eb.b) + (eb.length - b.offset));
+  }
+  if (b.edge_id == a.edge_id) {
+    d = std::min(d, std::abs(b.offset - a.offset));
+  }
+  return d;
+}
+
+void NetworkSpace::DistancesToTargets(const EdgePosition& src,
+                                      const CHIndex::TargetSet& targets,
+                                      std::vector<double>* out) const {
+  MPN_ASSERT_MSG(index_ != nullptr,
+                 "DistancesToTargets requires an attached CH index");
+  MPN_DCHECK(IsValid(src));
+  const auto seeds = SeedsOf(src);
+  index_->SeededDistances({seeds[0], seeds[1]}, targets, out);
 }
 
 NetworkBall NetworkSpace::Ball(const EdgePosition& center,
@@ -153,17 +241,23 @@ NetworkBall NetworkSpace::Ball(const EdgePosition& center,
     ball.Finalize();
     return ball;
   }
-  const std::vector<double> nd = NodeDistancesFrom(center);
-  for (uint32_t id = 0; id < edges_.size(); ++id) {
-    const Edge& e = edges_[id];
-    // Coverage reached from endpoint a.
-    if (nd[e.a] <= radius) {
-      ball.AddSegment(id, 0.0, std::min(e.length, radius - nd[e.a]));
-    }
-    // Coverage reached from endpoint b.
-    if (nd[e.b] <= radius) {
-      ball.AddSegment(id, std::max(0.0, e.length - (radius - nd[e.b])),
-                      e.length);
+  // Bounded Dijkstra: only the nodes inside the ball are ever touched, so
+  // small balls cost O(ball), not O(network).
+  DijkstraScratch& s = TlsScratch();
+  RunDijkstra(center, radius, kNoStop, kNoStop, &s);
+  for (uint32_t v : s.touched) {
+    const double nd = s.dist[v];
+    if (nd > radius) continue;  // tentative frontier leftovers
+    for (uint32_t id : incident_[v]) {
+      const Edge& e = edges_[id];
+      if (v == e.a) {
+        // Coverage reached from endpoint a.
+        ball.AddSegment(id, 0.0, std::min(e.length, radius - nd));
+      } else {
+        // Coverage reached from endpoint b.
+        ball.AddSegment(id, std::max(0.0, e.length - (radius - nd)),
+                        e.length);
+      }
     }
   }
   // Direct coverage of the center's own edge.

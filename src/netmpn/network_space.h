@@ -9,9 +9,11 @@
 // exactly as the paper sketches).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
+#include "index/ch.h"
 #include "traj/road_network.h"
 #include "util/macros.h"
 
@@ -78,6 +80,26 @@ class NetworkSpace {
   size_t NodeCount() const { return network_->NodeCount(); }
   const Edge& edge(uint32_t id) const { return edges_[id]; }
 
+  /// Attaches a CH index built over the same network (see
+  /// RoadNetwork::BuildCHIndex; the index must outlive the space or be
+  /// detached with nullptr). Point-to-point `Distance` and
+  /// `DistancesToTargets` then route through the index; Dijkstra remains
+  /// the fallback and the correctness oracle, and still serves full
+  /// one-to-all tables and metric balls, where a bounded / early-exit
+  /// Dijkstra beats any point-to-point index.
+  void AttachIndex(const CHIndex* index) {
+    MPN_ASSERT(index == nullptr || index->NodeCount() == NodeCount());
+    index_ = index;
+  }
+  const CHIndex* index() const { return index_; }
+
+  /// The two CH seeds of an edge position — its endpoints with their
+  /// offsets, the exact initialization NodeDistancesFrom uses.
+  std::array<CHIndex::Seed, 2> SeedsOf(const EdgePosition& pos) const {
+    const Edge& e = edges_[pos.edge_id];
+    return {{{e.a, pos.offset}, {e.b, e.length - pos.offset}}};
+  }
+
   /// Euclidean embedding of a network position (for visualization).
   Point ToEuclidean(const EdgePosition& pos) const;
 
@@ -89,8 +111,18 @@ class NetworkSpace {
   std::vector<double> NodeDistancesFrom(const EdgePosition& src) const;
 
   /// Shortest network distance between two edge positions (accounts for the
-  /// direct in-edge path when both lie on the same edge).
+  /// direct in-edge path when both lie on the same edge). Routes through
+  /// the CH index when attached, else an early-exit Dijkstra; the value is
+  /// bit-identical either way.
   double Distance(const EdgePosition& a, const EdgePosition& b) const;
+
+  /// Distances from `src` to every target node of a precomputed CH target
+  /// set — bit-identical to reading NodeDistancesFrom(src) at those nodes,
+  /// but one upward search instead of a full Dijkstra. Requires an
+  /// attached index (the target set must come from it).
+  void DistancesToTargets(const EdgePosition& src,
+                          const CHIndex::TargetSet& targets,
+                          std::vector<double>* out) const;
 
   /// Distance from a position to a target, given precomputed node distances
   /// from the source (`node_dist = NodeDistancesFrom(src)`), plus the
@@ -106,7 +138,20 @@ class NetworkSpace {
   uint32_t EdgeBetween(uint32_t a, uint32_t b) const;
 
  private:
+  struct DijkstraScratch;  // per-thread reusable workspace (see .cc)
+
+  /// Multi-seed Dijkstra into the per-thread scratch. Stops early when the
+  /// frontier passes `bound` or when both `stop_a` and `stop_b` (pass
+  /// kNoStop to disable) are settled; every touched node with a final
+  /// distance <= bound is exact.
+  static constexpr uint32_t kNoStop = 0xFFFFFFFFu;
+  void RunDijkstra(const EdgePosition& src, double bound, uint32_t stop_a,
+                   uint32_t stop_b, DijkstraScratch* s) const;
+  /// The calling thread's workspace (const queries stay thread-safe).
+  static DijkstraScratch& TlsScratch();
+
   const RoadNetwork* network_;
+  const CHIndex* index_ = nullptr;
   std::vector<Edge> edges_;
   // node -> incident (edge id) list
   std::vector<std::vector<uint32_t>> incident_;

@@ -229,4 +229,133 @@ std::vector<std::vector<const Trajectory*>> MakeGroups(
   return groups;
 }
 
+namespace {
+
+/// Disjoint-set forest for the connectivity patch of the random-planar
+/// topology.
+struct UnionFind {
+  std::vector<uint32_t> parent;
+  explicit UnionFind(size_t n) : parent(n) {
+    for (size_t i = 0; i < n; ++i) parent[i] = static_cast<uint32_t>(i);
+  }
+  uint32_t Find(uint32_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  }
+  bool Union(uint32_t a, uint32_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return false;
+    parent[b] = a;
+    return true;
+  }
+};
+
+RoadNetwork MakeRandomPlanarNetwork(const SyntheticNetworkOptions& options,
+                                    Rng* rng) {
+  const size_t n = std::max<size_t>(options.nodes, 2);
+  const Rect& world = options.world;
+  RoadNetwork net;
+  for (size_t i = 0; i < n; ++i) {
+    net.AddNode({rng->Uniform(world.lo.x, world.hi.x),
+                 rng->Uniform(world.lo.y, world.hi.y)});
+  }
+
+  // Bucket hash: ~2 nodes per cell keeps candidate gathering O(1) per node.
+  const size_t cells = std::max<size_t>(
+      1, static_cast<size_t>(std::sqrt(static_cast<double>(n) / 2.0)));
+  auto cell_of = [&](const Point& p) -> std::pair<size_t, size_t> {
+    const double fx = world.Width() > 0 ? (p.x - world.lo.x) / world.Width()
+                                        : 0.0;
+    const double fy = world.Height() > 0 ? (p.y - world.lo.y) / world.Height()
+                                         : 0.0;
+    const size_t cx = std::min(cells - 1, static_cast<size_t>(fx * cells));
+    const size_t cy = std::min(cells - 1, static_cast<size_t>(fy * cells));
+    return {cx, cy};
+  };
+  std::vector<std::vector<uint32_t>> buckets(cells * cells);
+  for (uint32_t i = 0; i < n; ++i) {
+    const auto [cx, cy] = cell_of(net.NodePos(i));
+    buckets[cy * cells + cx].push_back(i);
+  }
+
+  // k-nearest-neighbor edges from a widening ring of cells.
+  const int knn = std::max(1, options.knn);
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+  std::vector<std::pair<double, uint32_t>> cand;
+  for (uint32_t i = 0; i < n; ++i) {
+    const auto [cx, cy] = cell_of(net.NodePos(i));
+    cand.clear();
+    for (int ring = 1; ring <= 2 && cand.size() < static_cast<size_t>(knn);
+         ++ring) {
+      cand.clear();
+      for (int dy = -ring; dy <= ring; ++dy) {
+        for (int dx = -ring; dx <= ring; ++dx) {
+          const int64_t x = static_cast<int64_t>(cx) + dx;
+          const int64_t y = static_cast<int64_t>(cy) + dy;
+          if (x < 0 || y < 0 || x >= static_cast<int64_t>(cells) ||
+              y >= static_cast<int64_t>(cells)) {
+            continue;
+          }
+          for (uint32_t j : buckets[static_cast<size_t>(y) * cells +
+                                    static_cast<size_t>(x)]) {
+            if (j == i) continue;
+            cand.push_back({Dist(net.NodePos(i), net.NodePos(j)), j});
+          }
+        }
+      }
+    }
+    // Ties break on node id: fully deterministic.
+    std::sort(cand.begin(), cand.end());
+    const size_t take = std::min(cand.size(), static_cast<size_t>(knn));
+    for (size_t k = 0; k < take; ++k) {
+      const uint32_t j = cand[k].second;
+      edges.push_back({std::min(i, j), std::max(i, j)});
+    }
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  UnionFind uf(n);
+  for (const auto& [a, b] : edges) {
+    net.AddEdge(a, b);
+    uf.Union(a, b);
+  }
+
+  // Connectivity patch: walk nodes in cell-major (spatial) order and bridge
+  // consecutive nodes that sit in different components — bridges stay
+  // local, so the graph keeps its road-like geometry.
+  uint32_t prev = 0xFFFFFFFFu;
+  for (const auto& bucket : buckets) {
+    for (uint32_t i : bucket) {
+      if (prev != 0xFFFFFFFFu && uf.Find(prev) != uf.Find(i)) {
+        net.AddEdge(prev, i);
+        uf.Union(prev, i);
+      }
+      prev = i;
+    }
+  }
+  MPN_ASSERT(net.IsConnected());
+  return net;
+}
+
+}  // namespace
+
+RoadNetwork MakeSyntheticNetwork(const SyntheticNetworkOptions& options,
+                                 Rng* rng) {
+  if (options.topology == SyntheticNetworkOptions::Topology::kRandomPlanar) {
+    return MakeRandomPlanarNetwork(options, rng);
+  }
+  const int side = std::max(
+      2, static_cast<int>(std::lround(
+             std::sqrt(static_cast<double>(std::max<size_t>(options.nodes,
+                                                            4))))));
+  return RoadNetwork::RandomGrid(options.world, side, side,
+                                 options.jitter_frac, options.diagonal_prob,
+                                 options.drop_prob, rng);
+}
+
 }  // namespace mpn

@@ -107,4 +107,28 @@ std::vector<Point> GeneratePois(size_t n, const PoiOptions& options, Rng* rng);
 std::vector<std::vector<const Trajectory*>> MakeGroups(
     const std::vector<Trajectory>& trajectories, size_t m, size_t block);
 
+/// Options for the scalable synthetic road networks used by the CH index
+/// benches and property tests — node counts far beyond the seed fixtures.
+struct SyntheticNetworkOptions {
+  enum class Topology {
+    kGrid,          ///< jittered grid with diagonals and drops (RandomGrid)
+    kRandomPlanar,  ///< scattered nodes with k-nearest-neighbor local edges
+  };
+  Topology topology = Topology::kGrid;
+  size_t nodes = 10000;  ///< approximate; the grid rounds to rows x cols
+  Rect world = Rect({0.0, 0.0}, {100000.0, 100000.0});
+  double jitter_frac = 0.2;    ///< grid positional jitter
+  double diagonal_prob = 0.1;  ///< grid diagonal shortcut probability
+  double drop_prob = 0.1;      ///< grid edge-drop probability
+  int knn = 3;                 ///< random-planar neighbors per node
+};
+
+/// Generates a connected synthetic road network of roughly `options.nodes`
+/// nodes. The random-planar topology scatters nodes uniformly, links each
+/// to its k nearest neighbors (bucket-hashed, O(n)), and patches the graph
+/// connected by joining components along a spatial node order — edges stay
+/// local, like a road network. Deterministic for a fixed Rng.
+RoadNetwork MakeSyntheticNetwork(const SyntheticNetworkOptions& options,
+                                 Rng* rng);
+
 }  // namespace mpn

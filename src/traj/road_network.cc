@@ -55,6 +55,43 @@ std::vector<uint32_t> RoadNetwork::ShortestPath(uint32_t src,
   return path;
 }
 
+double RoadNetwork::ShortestPathDistance(uint32_t src, uint32_t dst) const {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(nodes_.size(), kInf);
+  using QE = std::pair<double, uint32_t>;
+  std::priority_queue<QE, std::vector<QE>, std::greater<QE>> pq;
+  dist[src] = 0.0;
+  pq.push({0.0, src});
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[u]) continue;
+    if (u == dst) return d;
+    for (const auto& [v, w] : adj_[u]) {
+      const double nd = d + w;
+      if (nd < dist[v]) {
+        dist[v] = nd;
+        pq.push({nd, v});
+      }
+    }
+  }
+  return dist[dst];
+}
+
+CHIndex RoadNetwork::BuildCHIndex(ThreadPool* pool) const {
+  std::vector<CHIndex::InputEdge> edges;
+  edges.reserve(edge_count_);
+  for (uint32_t a = 0; a < nodes_.size(); ++a) {
+    for (const auto& [b, w] : adj_[a]) {
+      if (a < b) edges.push_back({a, b, w});
+    }
+  }
+  CHIndex::Options options;
+  options.directed = false;
+  options.pool = pool;
+  return CHIndex::Build(nodes_.size(), edges, options);
+}
+
 bool RoadNetwork::IsConnected() const {
   if (nodes_.empty()) return true;
   std::vector<bool> seen(nodes_.size(), false);

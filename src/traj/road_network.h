@@ -12,9 +12,12 @@
 
 #include "geom/rect.h"
 #include "geom/vec2.h"
+#include "index/ch.h"
 #include "util/rng.h"
 
 namespace mpn {
+
+class ThreadPool;
 
 /// Undirected weighted graph embedded in the plane.
 class RoadNetwork {
@@ -43,6 +46,17 @@ class RoadNetwork {
   /// Dijkstra shortest path from `src` to `dst` as a node sequence
   /// (inclusive). Empty when unreachable.
   std::vector<uint32_t> ShortestPath(uint32_t src, uint32_t dst) const;
+
+  /// Dijkstra shortest-path distance (the canonical left-fold of edge
+  /// weights along the path); +infinity when unreachable. This is the
+  /// correctness oracle the CH index must match bit-for-bit.
+  double ShortestPathDistance(uint32_t src, uint32_t dst) const;
+
+  /// Builds a Contraction Hierarchies index over this network. Preprocess
+  /// once per scenario, then answer point-to-point / many-to-many queries
+  /// orders of magnitude faster than per-query Dijkstra (see index/ch.h).
+  /// `pool` parallelizes the initial-priority pass (identical result).
+  CHIndex BuildCHIndex(ThreadPool* pool = nullptr) const;
 
   /// True when the graph is connected (BFS reachability).
   bool IsConnected() const;

@@ -217,6 +217,196 @@ INSTANTIATE_TEST_SUITE_P(Objectives, NetworkMpnSoundnessTest,
                            return ObjectiveName(info.param);
                          });
 
+// Two views of the same network: a plain Dijkstra space and one with the
+// CH index attached. Everything computed through them must be
+// bit-identical.
+struct ChFixture {
+  RoadNetwork network;
+  CHIndex ch;
+  NetworkSpace dijkstra_space;
+  NetworkSpace ch_space;
+  explicit ChFixture(uint64_t seed, int rows = 9, int cols = 9)
+      : network([&] {
+          Rng rng(seed);
+          return RoadNetwork::RandomGrid(kWorld, rows, cols, 0.25, 0.12, 0.12,
+                                         &rng);
+        }()),
+        ch(network.BuildCHIndex()),
+        dijkstra_space(&network),
+        ch_space(&network) {
+    ch_space.AttachIndex(&ch);
+  }
+};
+
+TEST(NetworkSpaceChTest, DistanceBitIdenticalToDijkstra) {
+  ChFixture f(16);
+  Rng rng(166);
+  for (int trial = 0; trial < 60; ++trial) {
+    const EdgePosition a = RandomEdgePosition(f.dijkstra_space, &rng);
+    const EdgePosition b = RandomEdgePosition(f.dijkstra_space, &rng);
+    EXPECT_EQ(f.ch_space.Distance(a, b), f.dijkstra_space.Distance(a, b));
+  }
+}
+
+// Regression: positions on edges that share an endpoint — the meeting node
+// of the CH query is then a search *seed* on both sides, which the
+// relax-time candidate events alone would miss.
+TEST(NetworkSpaceChTest, AdjacentEdgePositionsBitIdentical) {
+  ChFixture f(21);
+  for (uint32_t e1 = 0; e1 < f.dijkstra_space.EdgeCount(); ++e1) {
+    for (uint32_t e2 = e1 + 1; e2 < f.dijkstra_space.EdgeCount(); ++e2) {
+      const auto& a = f.dijkstra_space.edge(e1);
+      const auto& b = f.dijkstra_space.edge(e2);
+      if (a.a != b.a && a.a != b.b && a.b != b.a && a.b != b.b) continue;
+      for (double ta : {0.0, 0.3, 1.0}) {
+        for (double tb : {0.0, 0.7, 1.0}) {
+          const EdgePosition pa{e1, ta * a.length};
+          const EdgePosition pb{e2, tb * b.length};
+          EXPECT_EQ(f.ch_space.Distance(pa, pb),
+                    f.dijkstra_space.Distance(pa, pb))
+              << "edges " << e1 << "," << e2 << " t=" << ta << "," << tb;
+        }
+      }
+      e1 = f.dijkstra_space.EdgeCount();  // one adjacent pair is plenty...
+      break;
+    }
+  }
+  // ...but also sweep a handful of random adjacent pairs.
+  Rng rng(211);
+  int found = 0;
+  for (int trial = 0; trial < 400 && found < 12; ++trial) {
+    const EdgePosition pa = RandomEdgePosition(f.dijkstra_space, &rng);
+    const EdgePosition pb = RandomEdgePosition(f.dijkstra_space, &rng);
+    const auto& a = f.dijkstra_space.edge(pa.edge_id);
+    const auto& b = f.dijkstra_space.edge(pb.edge_id);
+    if (a.a != b.a && a.a != b.b && a.b != b.a && a.b != b.b) continue;
+    ++found;
+    EXPECT_EQ(f.ch_space.Distance(pa, pb), f.dijkstra_space.Distance(pa, pb));
+  }
+  EXPECT_GT(found, 0);
+}
+
+TEST(NetworkSpaceChTest, DistancesToTargetsMatchNodeDistances) {
+  ChFixture f(17);
+  Rng rng(177);
+  std::vector<uint32_t> nodes;
+  for (int i = 0; i < 30; ++i) {
+    nodes.push_back(static_cast<uint32_t>(rng.UniformInt(
+        0, static_cast<int64_t>(f.network.NodeCount()) - 1)));
+  }
+  const CHIndex::TargetSet targets = f.ch.MakeTargetSet(nodes);
+  for (int trial = 0; trial < 15; ++trial) {
+    const EdgePosition src = RandomEdgePosition(f.ch_space, &rng);
+    const std::vector<double> oracle =
+        f.dijkstra_space.NodeDistancesFrom(src);
+    std::vector<double> got;
+    f.ch_space.DistancesToTargets(src, targets, &got);
+    ASSERT_EQ(got.size(), nodes.size());
+    for (size_t j = 0; j < nodes.size(); ++j) {
+      EXPECT_EQ(got[j], oracle[nodes[j]]) << "target node " << nodes[j];
+    }
+  }
+}
+
+TEST(NetworkMpnChTest, ComputeIdenticalWithAndWithoutIndex) {
+  ChFixture f(18);
+  Rng rng(188);
+  std::vector<EdgePosition> pois;
+  for (int i = 0; i < 70; ++i) {
+    pois.push_back(RandomEdgePosition(f.dijkstra_space, &rng));
+  }
+  const NetworkMpn dijkstra_engine(&f.dijkstra_space, pois);
+  const NetworkMpn ch_engine(&f.ch_space, pois);
+  for (Objective obj : {Objective::kMax, Objective::kSum}) {
+    for (int trial = 0; trial < 10; ++trial) {
+      std::vector<EdgePosition> users;
+      for (int i = 0; i < 1 + trial % 4; ++i) {
+        users.push_back(RandomEdgePosition(f.dijkstra_space, &rng));
+      }
+      const NetworkMpnResult a = dijkstra_engine.Compute(users, obj);
+      const NetworkMpnResult b = ch_engine.Compute(users, obj);
+      EXPECT_EQ(a.po_index, b.po_index);
+      EXPECT_EQ(a.po_agg, b.po_agg);
+      EXPECT_EQ(a.second_agg, b.second_agg);
+      EXPECT_EQ(a.rmax, b.rmax);
+      ASSERT_EQ(a.regions.size(), b.regions.size());
+      for (size_t i = 0; i < a.regions.size(); ++i) {
+        EXPECT_EQ(a.regions[i].SegmentCount(), b.regions[i].SegmentCount());
+        EXPECT_EQ(a.regions[i].TotalLength(), b.regions[i].TotalLength());
+      }
+    }
+  }
+}
+
+TEST(NetworkMpnChTest, NearestPOIsMatchesExhaustiveRanking) {
+  ChFixture f(19);
+  Rng rng(199);
+  std::vector<EdgePosition> pois;
+  for (int i = 0; i < 50; ++i) {
+    pois.push_back(RandomEdgePosition(f.dijkstra_space, &rng));
+  }
+  const NetworkMpn engine(&f.ch_space, pois);
+  const NetworkMpn oracle_engine(&f.dijkstra_space, pois);
+  for (Objective obj : {Objective::kMax, Objective::kSum}) {
+    std::vector<EdgePosition> users;
+    for (int i = 0; i < 3; ++i) {
+      users.push_back(RandomEdgePosition(f.dijkstra_space, &rng));
+    }
+    const auto ranks = engine.NearestPOIs(users, obj, 10);
+    ASSERT_EQ(ranks.size(), 10u);
+    // Exhaustive oracle: aggregate via per-user Dijkstra tables.
+    std::vector<std::vector<double>> nd;
+    for (const EdgePosition& u : users) {
+      nd.push_back(f.dijkstra_space.NodeDistancesFrom(u));
+    }
+    std::vector<std::pair<double, uint32_t>> all;
+    for (size_t j = 0; j < pois.size(); ++j) {
+      all.push_back({oracle_engine.AggNetworkDist(j, nd, users, obj),
+                     static_cast<uint32_t>(j)});
+    }
+    std::sort(all.begin(), all.end());
+    for (size_t r = 0; r < ranks.size(); ++r) {
+      EXPECT_EQ(ranks[r].poi_index, all[r].second) << "rank " << r;
+      EXPECT_EQ(ranks[r].agg, all[r].first) << "rank " << r;
+    }
+    // Ascending aggregates.
+    for (size_t r = 1; r < ranks.size(); ++r) {
+      EXPECT_LE(ranks[r - 1].agg, ranks[r].agg);
+    }
+  }
+}
+
+TEST(NetworkSimChTest, SimulationMetricsIdenticalWithAndWithoutIndex) {
+  ChFixture f(20, 7, 7);
+  Rng rng(200);
+  std::vector<EdgePosition> pois;
+  for (int i = 0; i < 40; ++i) {
+    pois.push_back(RandomEdgePosition(f.dijkstra_space, &rng));
+  }
+  const NetworkMpn dijkstra_engine(&f.dijkstra_space, pois);
+  const NetworkMpn ch_engine(&f.ch_space, pois);
+  std::vector<NetworkTrajectory> trajs;
+  for (int i = 0; i < 3; ++i) {
+    trajs.push_back(
+        GenerateNetworkTrajectory(f.dijkstra_space, f.network, 30.0, 200,
+                                  &rng));
+  }
+  const std::vector<const NetworkTrajectory*> group = {&trajs[0], &trajs[1],
+                                                       &trajs[2]};
+  for (Objective obj : {Objective::kMax, Objective::kSum}) {
+    const NetworkSimMetrics a =
+        SimulateNetworkMpn(f.dijkstra_space, dijkstra_engine, group, obj,
+                           /*check_correctness=*/true);
+    const NetworkSimMetrics b =
+        SimulateNetworkMpn(f.ch_space, ch_engine, group, obj,
+                           /*check_correctness=*/true);
+    EXPECT_EQ(a.timestamps, b.timestamps);
+    EXPECT_EQ(a.updates, b.updates);
+    EXPECT_EQ(a.result_changes, b.result_changes);
+    EXPECT_EQ(a.region_values, b.region_values);
+  }
+}
+
 TEST(NetworkTrajectoryTest, PositionsValidAndSpeedBounded) {
   NetFixture f(13);
   Rng rng(133);
