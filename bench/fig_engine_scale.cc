@@ -1,16 +1,28 @@
-// Engine scaling harness (not a paper figure): throughput of the
-// multi-group concurrent engine as the number of in-flight groups grows
-// from 1 to 256 and the thread-pool size grows from 1 to the hardware
-// concurrency. Reports groups*rounds/sec, the speedup over the 1-thread
-// run, and whether the results stayed bit-identical across thread counts
-// (they must — the engine's determinism guarantee). A second table
-// isolates the per-user Tile-MSR verification fan-out on a single group.
+// Engine scaling harness (not a paper figure): the event-driven scheduler
+// under three workloads.
+//
+//  1. Throughput of the multi-group engine as the number of in-flight
+//     groups grows from 1 to 256 and the thread-pool size grows from 1 to
+//     the hardware concurrency, now with per-session round-latency
+//     percentiles (p50/p99 of the gaps between consecutive advance
+//     completions, over all sessions). Digests must stay bit-identical
+//     across thread counts — the engine's determinism guarantee.
+//  2. Straggler isolation: one session's recomputations are padded 10x.
+//     Under the old lockstep round loop every session's round latency
+//     inflated behind the barrier; with per-session clocks the straggler
+//     delays only itself, so the non-stragglers' percentiles should match
+//     a straggler-free control run (up to CPU contention — one core of
+//     the pool is burning in the padded recompute).
+//  3. Churn: half the sessions are admitted mid-run under an admission
+//     hold and a quarter retire at half their horizon; the digest must
+//     not depend on the thread count.
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "bench_common.h"
 #include "engine/engine.h"
+#include "util/stats.h"
 #include "util/thread_pool.h"
 
 namespace mpn {
@@ -21,7 +33,21 @@ struct RunResult {
   double seconds = 0.0;
   double throughput = 0.0;  // groups*rounds per second
   uint64_t digest = 0;
+  double p50_ms = 0.0;      // per-session round-latency percentiles
+  double p99_ms = 0.0;
 };
+
+/// Round latency of one session: gaps between consecutive advance
+/// completions (the time each next virtual timestamp took to land).
+void AppendAdvanceGapsMs(const Engine& engine, uint32_t id,
+                         std::vector<double>* gaps) {
+  const std::vector<double>& at = engine.session_advance_seconds(id);
+  for (size_t t = 1; t < at.size(); ++t) {
+    if (at[t] > 0.0 && at[t - 1] > 0.0) {
+      gaps->push_back((at[t] - at[t - 1]) * 1e3);
+    }
+  }
+}
 
 RunResult RunEngineOnce(const std::vector<Point>& pois, const RTree& tree,
                         const std::vector<std::vector<const Trajectory*>>&
@@ -33,7 +59,7 @@ RunResult RunEngineOnce(const std::vector<Point>& pois, const RTree& tree,
   opt.parallel_verify = parallel_verify;
   opt.sim.server = server;
   Engine engine(&pois, &tree, opt);
-  for (size_t g = 0; g < n_groups; ++g) engine.AddSession(groups[g]);
+  for (size_t g = 0; g < n_groups; ++g) engine.AdmitSession(groups[g]);
   Timer timer;
   engine.Run();
   RunResult r;
@@ -42,7 +68,135 @@ RunResult RunEngineOnce(const std::vector<Point>& pois, const RTree& tree,
       static_cast<double>(engine.TotalMetrics().timestamps);
   r.throughput = r.seconds > 0.0 ? rounds / r.seconds : 0.0;
   r.digest = engine.ResultDigest();
+  std::vector<double> gaps;
+  for (uint32_t id = 0; id < n_groups; ++id) {
+    AppendAdvanceGapsMs(engine, id, &gaps);
+  }
+  r.p50_ms = Quantile(gaps, 0.5);
+  r.p99_ms = Quantile(gaps, 0.99);
   return r;
+}
+
+void RunScaleTable(const std::vector<Point>& pois, const RTree& tree,
+                   const std::vector<std::vector<const Trajectory*>>& groups,
+                   const std::vector<size_t>& group_counts,
+                   const std::vector<size_t>& thread_counts,
+                   const ServerConfig& server) {
+  Table table({"groups", "threads", "seconds", "rounds/sec", "speedup",
+               "lat_p50_ms", "lat_p99_ms", "deterministic"});
+  for (size_t n_groups : group_counts) {
+    double base_throughput = 0.0;
+    uint64_t base_digest = 0;
+    for (size_t threads : thread_counts) {
+      const RunResult r = RunEngineOnce(pois, tree, groups, n_groups,
+                                        threads, false, server);
+      if (threads == thread_counts.front()) {
+        base_throughput = r.throughput;
+        base_digest = r.digest;
+      }
+      table.AddRow({std::to_string(n_groups), std::to_string(threads),
+                    FormatDouble(r.seconds, 3), FormatDouble(r.throughput, 0),
+                    FormatDouble(base_throughput > 0.0
+                                     ? r.throughput / base_throughput
+                                     : 1.0,
+                                 2),
+                    FormatDouble(r.p50_ms, 3), FormatDouble(r.p99_ms, 3),
+                    r.digest == base_digest ? "yes" : "NO"});
+    }
+  }
+  table.Print("Engine scale — per-session parallelism (Tile-D, m=3)");
+  table.WriteCsv("fig_engine_scale.csv");
+}
+
+void RunStragglerTable(const std::vector<Point>& pois, const RTree& tree,
+                       const std::vector<std::vector<const Trajectory*>>&
+                           groups,
+                       size_t n_groups,
+                       const std::vector<size_t>& thread_counts,
+                       const ServerConfig& server) {
+  Table table({"threads", "straggler", "strag_p99_ms", "others_p50_ms",
+               "others_p99_ms", "seconds", "deterministic"});
+  for (size_t threads : thread_counts) {
+    uint64_t control_digest = 0;
+    for (int with_straggler = 0; with_straggler < 2; ++with_straggler) {
+      EngineOptions opt;
+      opt.threads = threads;
+      opt.sim.server = server;
+      Engine engine(&pois, &tree, opt);
+      for (size_t g = 0; g < n_groups; ++g) {
+        SessionTuning tuning;
+        if (with_straggler == 1 && g == 0) {
+          tuning.recompute_cost_factor = 10.0;
+        }
+        engine.AdmitSession(groups[g], tuning);
+      }
+      Timer timer;
+      engine.Run();
+      const double seconds = timer.ElapsedSeconds();
+      // The pad is wall-clock only, so the digest must not move.
+      if (with_straggler == 0) control_digest = engine.ResultDigest();
+      std::vector<double> strag_gaps, other_gaps;
+      for (uint32_t id = 0; id < n_groups; ++id) {
+        AppendAdvanceGapsMs(engine, id,
+                            id == 0 && with_straggler == 1 ? &strag_gaps
+                                                           : &other_gaps);
+      }
+      table.AddRow(
+          {std::to_string(threads), with_straggler == 1 ? "10x" : "none",
+           with_straggler == 1 ? FormatDouble(Quantile(strag_gaps, 0.99), 3)
+                               : "-",
+           FormatDouble(Quantile(other_gaps, 0.5), 3),
+           FormatDouble(Quantile(other_gaps, 0.99), 3),
+           FormatDouble(seconds, 3),
+           engine.ResultDigest() == control_digest ? "yes" : "NO"});
+    }
+  }
+  table.Print("Engine scale — straggler isolation (one session padded 10x; "
+              "others_p99 should match the straggler-free row)");
+  table.WriteCsv("fig_engine_scale_straggler.csv");
+}
+
+void RunChurnTable(const std::vector<Point>& pois, const RTree& tree,
+                   const std::vector<std::vector<const Trajectory*>>& groups,
+                   size_t n_groups, size_t timestamps,
+                   const std::vector<size_t>& thread_counts,
+                   const ServerConfig& server) {
+  Table table({"threads", "sessions", "retired", "seconds", "rounds/sec",
+               "deterministic"});
+  uint64_t base_digest = 0;
+  for (size_t threads : thread_counts) {
+    EngineOptions opt;
+    opt.threads = threads;
+    opt.sim.server = server;
+    Engine engine(&pois, &tree, opt);
+    Engine::Hold hold = engine.AcquireHold();
+    size_t retired = 0;
+    Timer timer;
+    // Half the sessions up front (every fourth retiring at half horizon),
+    // the other half admitted while the engine is already draining.
+    for (size_t g = 0; g < n_groups; ++g) {
+      SessionTuning tuning;
+      if (g % 4 == 0) {
+        tuning.retire_at = timestamps / 2;
+        ++retired;
+      }
+      if (g == n_groups / 2) engine.Start();
+      engine.AdmitSession(groups[g], tuning);
+    }
+    hold.Reset();
+    engine.Wait();
+    const double seconds = timer.ElapsedSeconds();
+    if (threads == thread_counts.front()) base_digest = engine.ResultDigest();
+    const double rounds =
+        static_cast<double>(engine.TotalMetrics().timestamps);
+    table.AddRow({std::to_string(threads), std::to_string(n_groups),
+                  std::to_string(retired), FormatDouble(seconds, 3),
+                  FormatDouble(seconds > 0.0 ? rounds / seconds : 0.0, 0),
+                  engine.ResultDigest() == base_digest ? "yes" : "NO"});
+  }
+  table.Print("Engine scale — churn (half admitted mid-run, quarter retired "
+              "at half horizon)");
+  table.WriteCsv("fig_engine_scale_churn.csv");
 }
 
 void Run() {
@@ -54,7 +208,7 @@ void Run() {
   const size_t timestamps = env.full ? 1000 : 200;
   const size_t n_pois = env.full ? env.n_pois : 4000;
   const size_t m = 3;
-  std::printf("Engine scale — multi-group throughput vs thread count\n");
+  std::printf("Engine scale — event-driven scheduler, groups vs threads\n");
   std::printf("scale=%s  N=%zu  timestamps=%zu  max_groups=%zu  m=%zu  "
               "hardware_threads=%zu\n",
               env.full ? "full" : "quick", n_pois, timestamps, max_groups, m,
@@ -81,29 +235,11 @@ void Run() {
   std::vector<size_t> group_counts = {1, 4, 16, 64};
   if (max_groups >= 256) group_counts.push_back(256);
 
-  Table table({"groups", "threads", "seconds", "rounds/sec", "speedup",
-               "deterministic"});
-  for (size_t n_groups : group_counts) {
-    double base_throughput = 0.0;
-    uint64_t base_digest = 0;
-    for (size_t threads : thread_counts) {
-      const RunResult r = RunEngineOnce(pois, tree, groups, n_groups,
-                                        threads, false, server);
-      if (threads == 1) {
-        base_throughput = r.throughput;
-        base_digest = r.digest;
-      }
-      table.AddRow({std::to_string(n_groups), std::to_string(threads),
-                    FormatDouble(r.seconds, 3), FormatDouble(r.throughput, 0),
-                    FormatDouble(base_throughput > 0.0
-                                     ? r.throughput / base_throughput
-                                     : 1.0,
-                                 2),
-                    r.digest == base_digest ? "yes" : "NO"});
-    }
-  }
-  table.Print("Engine scale — per-group parallelism (Tile-D, m=3)");
-  table.WriteCsv("fig_engine_scale.csv");
+  RunScaleTable(pois, tree, groups, group_counts, thread_counts, server);
+  RunStragglerTable(pois, tree, groups, std::min<size_t>(16, max_groups),
+                    thread_counts, server);
+  RunChurnTable(pois, tree, groups, std::min<size_t>(32, max_groups),
+                timestamps, thread_counts, server);
 
   // Per-user verification fan-out on one group: same results, candidate
   // scans spread across the pool. Buffered retrieval keeps candidate lists

@@ -1,11 +1,14 @@
 // Multi-group engine demo: one server process keeping many independent
-// meetup groups' safe regions fresh at the same time.
+// meetup groups' safe regions fresh at the same time, with groups joining
+// and leaving mid-run.
 //
-// Sixteen groups of three walkers share a POI index; the engine shards
-// their per-timestamp work across a thread pool and recomputes safe
-// regions only for the sessions whose users left their regions that round.
-// The run is bit-deterministic: repeat it with any thread count and every
-// per-group counter comes out identical.
+// Twelve groups of three walkers share a POI index; the event-driven
+// scheduler advances every session on its own virtual clock, recomputes
+// safe regions asynchronously for the sessions whose users left their
+// regions, and four more groups are admitted while the engine is already
+// draining (one of them retires halfway). The run is bit-deterministic:
+// repeat it with any thread count and every per-group counter comes out
+// identical.
 //
 // Build & run:  ./examples/multi_group
 #include <cstdio>
@@ -19,6 +22,7 @@ int main() {
   using namespace mpn;
 
   const size_t kGroups = 16;
+  const size_t kUpfront = 12;
   const size_t kGroupSize = 3;
   const size_t kTimestamps = 300;
 
@@ -37,32 +41,47 @@ int main() {
   const std::vector<Trajectory> trajs = gen.GenerateGroupedFleet(
       kGroups * kGroupSize, kGroupSize, 1000.0, kTimestamps, &rng);
 
-  // The engine: Tile-D safe regions, one session per group, as many
-  // workers as the machine offers, and the per-user verification fan-out
-  // enabled inside each recomputation.
+  // The engine: Tile-D safe regions, as many workers as the machine
+  // offers, and the per-user verification fan-out enabled inside each
+  // recomputation.
   EngineOptions opt;
   opt.threads = 0;  // hardware concurrency
   opt.parallel_verify = true;
   opt.sim.server.method = Method::kTileD;
   Engine engine(&pois, &tree, opt);
   const auto groups = MakeGroups(trajs, kGroupSize, kGroupSize);
-  for (const auto& group : groups) engine.AddSession(group);
+  for (size_t g = 0; g < kUpfront; ++g) engine.AdmitSession(groups[g]);
 
   std::printf("engine: %zu sessions x %zu users, %zu worker thread(s)\n",
               engine.session_count(), kGroupSize, engine.thread_count());
-  engine.Run();
 
-  // Per-round aggregates from the batched event loop.
+  // Mid-run churn: hold the drain open, start the engine, then admit the
+  // remaining groups while the first twelve are already moving. One of
+  // the latecomers only stays for 150 timestamps.
+  Engine::Hold hold = engine.AcquireHold();
+  engine.Start();
+  for (size_t g = kUpfront; g < kGroups; ++g) {
+    SessionTuning tuning;
+    if (g == kUpfront) tuning.retire_at = kTimestamps / 2;
+    engine.AdmitSession(groups[g], tuning);
+  }
+  std::printf("admitted %zu more mid-run (session %zu retires at t=%zu)\n",
+              kGroups - kUpfront, kUpfront, kTimestamps / 2);
+  hold.Reset();
+  engine.Wait();
+
+  // Per-timestamp aggregates from the event-driven scheduler.
   engine.round_stats().ToTable().Print("per-round engine stats");
 
   // A few per-session results: update counts differ per group (different
   // trajectories), but every number is reproducible bit-for-bit.
-  std::printf("\n%-8s %-10s %-10s %-10s\n", "group", "updates", "packets",
-              "meeting@");
-  for (uint32_t id = 0; id < 4; ++id) {
+  std::printf("\n%-8s %-10s %-10s %-10s %-10s\n", "group", "rounds",
+              "updates", "packets", "meeting@");
+  for (uint32_t id : {0u, 1u, static_cast<uint32_t>(kUpfront),
+                      static_cast<uint32_t>(kGroups - 1)}) {
     const SimMetrics& m = engine.session_metrics(id);
-    std::printf("%-8u %-10zu %-10zu poi #%u\n", id, m.updates,
-                m.comm.TotalPackets(), engine.session_po(id));
+    std::printf("%-8u %-10zu %-10zu %-10zu poi #%u\n", id, m.timestamps,
+                m.updates, m.comm.TotalPackets(), engine.session_po(id));
   }
   const SimMetrics total = engine.TotalMetrics();
   std::printf("\ntotal: %zu updates over %zu group-rounds "

@@ -1,9 +1,9 @@
 #include "engine/engine.h"
 
-#include <algorithm>
+#include <stdexcept>
+#include <utility>
 
 #include "util/macros.h"
-#include "util/timer.h"
 
 namespace mpn {
 
@@ -42,14 +42,33 @@ Engine::Engine(const std::vector<Point>* pois, const RTree* tree,
   MPN_ASSERT(pois_ != nullptr && tree_ != nullptr);
   const size_t threads =
       options_.threads == 0 ? ThreadPool::HardwareThreads() : options_.threads;
+  table_ = std::make_unique<SessionTable>(options_.table_shards);
   pool_ = std::make_unique<ThreadPool>(threads);
   executor_ = std::make_unique<PoolExecutor>(pool_.get());
+  scheduler_ = std::make_shared<Scheduler>(pool_.get(), table_.get());
 }
 
-Engine::~Engine() = default;
+Engine::~Engine() {
+  // Drain in-flight work (ignoring admission holds) so no event chain
+  // re-posts into the pool while its destructor joins the workers.
+  if (started_.load(std::memory_order_acquire)) {
+    scheduler_->WaitIdle(/*ignore_holds=*/true);
+  }
+}
 
-uint32_t Engine::AddSession(std::vector<const Trajectory*> group) {
-  MPN_ASSERT_MSG(!ran_, "AddSession after Run");
+SessionRecord* Engine::FindChecked(uint32_t id) const {
+  SessionRecord* r = table_->Find(id);
+  MPN_ASSERT_MSG(r != nullptr, "unknown session id");
+  return r;
+}
+
+uint32_t Engine::AdmitSession(std::vector<const Trajectory*> group,
+                              const SessionTuning& tuning) {
+  if (stopped_.load(std::memory_order_acquire)) {
+    throw std::logic_error(
+        "Engine::AdmitSession on a finished engine (Run/Wait already "
+        "returned)");
+  }
   SimOptions session_options = options_.sim;
   if (options_.parallel_verify) {
     session_options.server.verify_fanout.executor = executor_.get();
@@ -57,68 +76,61 @@ uint32_t Engine::AddSession(std::vector<const Trajectory*> group) {
     session_options.server.verify_fanout.min_candidates =
         options_.verify_min_candidates;
   }
-  const uint32_t id = static_cast<uint32_t>(sessions_.size());
-  sessions_.push_back(std::make_unique<GroupSession>(
-      id, pois_, tree_, std::move(group), session_options));
+  const uint32_t id = table_->ReserveId();
+  auto record = std::make_unique<SessionRecord>(std::make_unique<GroupSession>(
+      id, pois_, tree_, std::move(group), session_options, tuning,
+      &run_timer_));
+  SessionRecord* r = table_->Insert(std::move(record));
+  scheduler_->Admit(r);
   return id;
 }
 
-void Engine::Run() {
-  MPN_ASSERT_MSG(!ran_, "Engine::Run may be called once");
-  ran_ = true;
-
-  // Sessions still running this round, in session-id order. The order of
-  // this list fixes the work partition; which worker claims which session
-  // is irrelevant to the results.
-  std::vector<GroupSession*> live;
-  live.reserve(sessions_.size());
-  for (const auto& s : sessions_) {
-    if (!s->done()) live.push_back(s.get());
+uint32_t Engine::AddSession(std::vector<const Trajectory*> group) {
+  if (started_.load(std::memory_order_acquire)) {
+    throw std::logic_error(
+        "Engine::AddSession after Run/Start — use AdmitSession for mid-run "
+        "admission");
   }
+  return AdmitSession(std::move(group));
+}
 
-  std::vector<uint8_t> recomputed(sessions_.size(), 0);
-  std::vector<size_t> message_delta(sessions_.size(), 0);
-  while (!live.empty()) {
-    Timer round_timer;
+void Engine::RetireSession(uint32_t id, size_t at_timestamp) {
+  FindChecked(id)->session->RequestRetire(at_timestamp);
+}
 
-    // Drain this timestamp: every live session ticks as one pool job. The
-    // loop thread only orchestrates (caller_participates = false), so the
-    // configured thread count is exactly the number of threads doing
-    // session work.
-    pool_->ParallelFor(
-        live.size(), 1,
-        [&](size_t begin, size_t end) {
-          for (size_t i = begin; i < end; ++i) {
-            GroupSession* s = live[i];
-            const size_t before = s->metrics().comm.TotalMessages();
-            recomputed[s->id()] = s->Tick() ? 1 : 0;
-            message_delta[s->id()] =
-                s->metrics().comm.TotalMessages() - before;
-          }
-        },
-        /*caller_participates=*/false);
+void Engine::Start() {
+  if (started_.exchange(true, std::memory_order_acq_rel)) {
+    throw std::logic_error("Engine::Run/Start may be called once");
+  }
+  run_timer_.Reset();
+  scheduler_->Start();
+}
 
-    size_t recomputes = 0;
-    size_t messages = 0;
-    for (const GroupSession* s : live) {
-      recomputes += recomputed[s->id()];
-      messages += message_delta[s->id()];
-    }
-    round_stats_.messages_per_round.Add(static_cast<double>(messages));
-    round_stats_.recomputes_per_round.Add(static_cast<double>(recomputes));
-    round_stats_.round_seconds.Add(round_timer.ElapsedSeconds());
+void Engine::Wait() {
+  if (!started_.load(std::memory_order_acquire)) {
+    throw std::logic_error("Engine::Wait before Run/Start");
+  }
+  scheduler_->WaitIdle();
+  if (stopped_.exchange(true, std::memory_order_acq_rel)) return;
+  for (const Scheduler::Slot& slot : scheduler_->slots()) {
+    round_stats_.messages_per_round.Add(static_cast<double>(slot.messages));
+    round_stats_.recomputes_per_round.Add(
+        static_cast<double>(slot.recomputes));
+    round_stats_.round_seconds.Add(slot.seconds);
     ++round_stats_.rounds;
-
-    live.erase(std::remove_if(live.begin(), live.end(),
-                              [](GroupSession* s) { return s->done(); }),
-               live.end());
   }
-  for (const auto& s : sessions_) s->Finish();
+}
+
+void Engine::Run() {
+  Start();
+  Wait();
 }
 
 SimMetrics Engine::TotalMetrics() const {
   SimMetrics total;
-  for (const auto& s : sessions_) total.Merge(s->metrics());
+  table_->ForEachOrdered([&total](SessionRecord* r) {
+    total.Merge(r->session->metrics());
+  });
   return total;
 }
 
@@ -139,12 +151,13 @@ struct Fnv1a {
 
 uint64_t Engine::ResultDigest() const {
   Fnv1a fnv;
-  for (const auto& s : sessions_) {
-    const SimMetrics& m = s->metrics();
+  table_->ForEachOrdered([&fnv](SessionRecord* r) {
+    const GroupSession& s = *r->session;
+    const SimMetrics& m = s.metrics();
     fnv.Add(m.timestamps);
     fnv.Add(m.updates);
     fnv.Add(m.result_changes);
-    fnv.Add(s->has_result() ? 1 + static_cast<uint64_t>(s->current_po()) : 0);
+    fnv.Add(s.has_result() ? 1 + static_cast<uint64_t>(s.current_po()) : 0);
     for (size_t t = 0; t < kMessageTypeCount; ++t) {
       const MessageType type = static_cast<MessageType>(t);
       fnv.Add(m.comm.messages(type));
@@ -163,7 +176,7 @@ uint64_t Engine::ResultDigest() const {
     fnv.Add(m.msr.candidates.candidates_total);
     fnv.Add(m.msr.candidates.rejected_by_buffer);
     fnv.Add(m.msr.rtree_node_accesses);
-  }
+  });
   return fnv.hash;
 }
 

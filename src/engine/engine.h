@@ -1,30 +1,37 @@
-// Multi-group concurrent server engine.
+// Multi-group concurrent server engine (event-driven).
 //
-// The Engine owns N GroupSessions and a fixed-size thread pool, and drives
-// all sessions through a batched event loop: every round (one timestamp) it
-// drains the per-timestamp location updates of all live sessions in
-// parallel — each session's Tick runs as one job, and within a tick the
-// optional per-user Tile-MSR verification fan-out (ServerConfig::
-// verify_fanout) splits a group's candidate scans across the same pool.
-// Per-round totals (messages, recomputations, wall time) accumulate into
-// util/stats RunningStat tables.
+// The Engine owns a sharded session table, a fixed-size thread pool, and an
+// event-driven scheduler (engine/scheduler.h): every session advances on
+// its own virtual clock, ordered by (next_timestamp, session_id) in the
+// pool's priority queue, so a lagging session delays only itself — there is
+// no global round barrier. A safe-region violation posts the Tile/Circle-
+// MSR recomputation as an async pool job; the session keeps buffering
+// location updates in a bounded mailbox and re-enters the ready queue when
+// its fresh regions arrive. Groups can be admitted and retired mid-run:
+// AdmitSession / RetireSession are callable from any thread while the
+// engine drains, and only ever touch one shard of the session table.
 //
-// Determinism: sessions share only immutable data (POIs, R-tree), each
-// session's work runs on exactly one thread per tick, and the fan-out's
-// chunk layout is independent of the worker count. Everything in
-// SimMetrics except the wall-clock timing fields is therefore bit-identical
-// across thread counts for a fixed seed — ResultDigest() hashes exactly
-// those deterministic fields.
+// Determinism: sessions share only immutable data (POIs, R-tree), every
+// session phase except the recomputation job is serialized per session,
+// and the per-session logical step order is independent of wall-clock
+// interleaving (see scheduler.h). Everything in SimMetrics except the
+// wall-clock timing fields is therefore bit-identical across thread
+// counts for a fixed session set — ResultDigest() hashes exactly those
+// deterministic fields.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "engine/group_session.h"
+#include "engine/scheduler.h"
+#include "engine/session_table.h"
 #include "util/stats.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
+#include "util/timer.h"
 
 namespace mpn {
 
@@ -35,21 +42,28 @@ struct EngineOptions {
   /// Per-session simulation options (server method, horizon, checks).
   SimOptions sim;
   /// Fan per-user Tile-MSR candidate verification out across the pool
-  /// inside each recomputation (in addition to the per-group parallelism).
+  /// inside each recomputation (in addition to the per-session parallelism).
   bool parallel_verify = false;
   /// Candidates per fan-out chunk; fixed layout keeps results
   /// bit-identical across thread counts.
   size_t verify_grain = 16;
   /// Minimum candidate-list size before the fan-out engages.
   size_t verify_min_candidates = 32;
+  /// Shards of the session table (admission locks one shard, never the
+  /// scheduling hot path).
+  size_t table_shards = 16;
 };
 
-/// Per-round aggregates of one Engine::Run, built on util/stats.
+/// Per-timestamp aggregates of one Engine run, built on util/stats. A
+/// "round" is one virtual timestamp slot: since sessions run on their own
+/// clocks, the per-slot totals aggregate each session's timestamp t
+/// regardless of when it was processed in wall-clock terms — which makes
+/// them deterministic.
 struct EngineRoundStats {
-  RunningStat messages_per_round;      ///< protocol messages sent per round
+  RunningStat messages_per_round;      ///< protocol messages per timestamp
   RunningStat recomputes_per_round;    ///< safe-region recomputations
-  RunningStat round_seconds;           ///< wall time per round
-  size_t rounds = 0;                   ///< timestamps processed
+  RunningStat round_seconds;           ///< processing seconds per timestamp
+  size_t rounds = 0;                   ///< timestamp slots processed
 
   /// Renders the aggregates as a util/table (one row per metric).
   Table ToTable() const;
@@ -58,6 +72,38 @@ struct EngineRoundStats {
 /// Concurrent multi-group server engine.
 class Engine {
  public:
+  /// Retire as soon as the session's event chain notices (non-deterministic
+  /// cut point; pass an explicit timestamp for a deterministic one).
+  static constexpr size_t kRetireNow = 0;
+
+  /// RAII admission hold: keeps Run()/Wait() from returning while mid-run
+  /// admissions are still coming. Shares ownership of the scheduler, so a
+  /// hold that outlives its engine releases safely (though holding one
+  /// past ~Engine just forfeits the hold — the destructor drains anyway).
+  class Hold {
+   public:
+    Hold() = default;
+    explicit Hold(std::shared_ptr<Scheduler> scheduler)
+        : scheduler_(std::move(scheduler)) {
+      scheduler_->Hold();
+    }
+    Hold(Hold&& other) noexcept = default;
+    Hold& operator=(Hold&& other) noexcept {
+      Reset();
+      scheduler_ = std::move(other.scheduler_);
+      return *this;
+    }
+    ~Hold() { Reset(); }
+    /// Releases the hold early.
+    void Reset() {
+      if (scheduler_ != nullptr) scheduler_->Release();
+      scheduler_.reset();
+    }
+
+   private:
+    std::shared_ptr<Scheduler> scheduler_;
+  };
+
   /// `pois` and `tree` are shared, read-only, and must outlive the engine.
   Engine(const std::vector<Point>* pois, const RTree* tree,
          const EngineOptions& options);
@@ -66,48 +112,97 @@ class Engine {
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
-  /// Registers one group; returns its session id (dense, starting at 0).
-  /// All trajectories must outlive the engine.
+  /// Registers one group; returns its session id (dense, in admission
+  /// order). All trajectories must outlive the engine. Callable from any
+  /// thread, before Start or while the engine drains; throws
+  /// std::logic_error once the engine has finished.
+  uint32_t AdmitSession(std::vector<const Trajectory*> group,
+                        const SessionTuning& tuning = SessionTuning());
+
+  /// Legacy pre-run registration. Throws std::logic_error after
+  /// Start()/Run() — use AdmitSession for mid-run admission.
   uint32_t AddSession(std::vector<const Trajectory*> group);
 
-  size_t session_count() const { return sessions_.size(); }
+  /// Stops session `id` before it advances to timestamp `at` (a
+  /// deterministic truncation of its horizon — same digest on every thread
+  /// count if `at` is set before the session reaches it, e.g. via
+  /// SessionTuning::retire_at at admission). kRetireNow stops it at the
+  /// next event boundary instead, which is wall-clock dependent.
+  /// Already-processed timestamps are unaffected; the session keeps its
+  /// metrics and digest contribution. Callable from any thread.
+  void RetireSession(uint32_t id, size_t at_timestamp = kRetireNow);
+
+  size_t session_count() const { return table_->size(); }
   size_t thread_count() const { return pool_->thread_count(); }
 
-  /// Runs every session to completion (batched round loop). May be called
-  /// once per engine.
+  /// Begins dispatching (non-blocking; work runs on the pool). Throws
+  /// std::logic_error when called twice.
+  void Start();
+
+  /// Blocks until every session finished and no admission hold is
+  /// outstanding, then freezes the round stats.
+  void Wait();
+
+  /// Start() + Wait(). Throws std::logic_error when called twice.
   void Run();
 
-  /// Per-session metrics (valid after Run).
+  /// Keeps Run()/Wait() from returning while the caller still plans
+  /// mid-run admissions. Acquire before Start (or while holding another
+  /// hold) to avoid racing the drain.
+  Hold AcquireHold() { return Hold(scheduler_); }
+
+  /// Per-session metrics (valid after Wait).
   const SimMetrics& session_metrics(uint32_t id) const {
-    return sessions_[id]->metrics();
+    return FindChecked(id)->session->metrics();
   }
 
   /// POI id of session `id`'s final meeting point.
-  uint32_t session_po(uint32_t id) const { return sessions_[id]->current_po(); }
+  uint32_t session_po(uint32_t id) const {
+    return FindChecked(id)->session->current_po();
+  }
 
-  /// Merged metrics across all sessions (valid after Run).
+  /// Wall-clock completion stamps of session `id`'s advances (seconds
+  /// since Start); consecutive gaps are the per-session round latencies.
+  const std::vector<double>& session_advance_seconds(uint32_t id) const {
+    return FindChecked(id)->session->advance_seconds();
+  }
+
+  /// Merged metrics across all sessions (valid after Wait).
   SimMetrics TotalMetrics() const;
 
-  /// Per-round aggregates (valid after Run).
+  /// Per-timestamp aggregates (valid after Wait).
   const EngineRoundStats& round_stats() const { return round_stats_; }
 
   /// FNV-1a hash over every deterministic per-session result field
   /// (protocol counters, algorithm counters, final meeting point) in
-  /// session order. Identical across thread counts for identical inputs;
-  /// wall-clock fields are excluded.
+  /// session-id order. Identical across thread counts for identical
+  /// admissions; wall-clock fields are excluded.
   uint64_t ResultDigest() const;
 
  private:
   class PoolExecutor;  // VerifyExecutor adapter over the thread pool
 
+  SessionRecord* FindChecked(uint32_t id) const;
+
   const std::vector<Point>* pois_;
   const RTree* tree_;
   EngineOptions options_;
-  std::unique_ptr<ThreadPool> pool_;
-  std::unique_ptr<PoolExecutor> executor_;
-  std::vector<std::unique_ptr<GroupSession>> sessions_;
+  Timer run_timer_;
   EngineRoundStats round_stats_;
-  bool ran_ = false;
+  // Atomic: AdmitSession/RetireSession read these from arbitrary threads
+  // while Start()/Wait() write them.
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopped_{false};
+  // Destruction order matters: the pool (declared last) is destroyed
+  // first, joining every worker before the scheduler and table they
+  // reference go away. ~Engine additionally drains outstanding work so no
+  // task re-posts into a stopping pool.
+  std::unique_ptr<SessionTable> table_;
+  // shared_ptr so outstanding Holds keep the Scheduler object (whose
+  // Release() only touches its own mutex/cv) alive past ~Engine.
+  std::shared_ptr<Scheduler> scheduler_;
+  std::unique_ptr<PoolExecutor> executor_;
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace mpn

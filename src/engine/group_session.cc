@@ -1,6 +1,7 @@
 #include "engine/group_session.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "index/gnn.h"
 #include "util/macros.h"
@@ -10,14 +11,18 @@ namespace mpn {
 GroupSession::GroupSession(uint32_t id, const std::vector<Point>* pois,
                            const RTree* tree,
                            std::vector<const Trajectory*> group,
-                           const SimOptions& options)
+                           const SimOptions& options,
+                           const SessionTuning& tuning, const Timer* run_timer)
     : id_(id),
       pois_(pois),
       tree_(tree),
       group_(std::move(group)),
       options_(options),
+      tuning_(tuning),
+      run_timer_(run_timer),
       server_(pois, tree, options.server) {
   MPN_ASSERT(!group_.empty());
+  MPN_ASSERT(tuning_.recompute_cost_factor >= 1.0);
   clients_.reserve(group_.size());
   for (const Trajectory* t : group_) clients_.emplace_back(t);
   horizon_ = group_.front()->size();
@@ -25,11 +30,35 @@ GroupSession::GroupSession(uint32_t id, const std::vector<Point>* pois,
   if (options_.max_timestamps > 0) {
     horizon_ = std::min(horizon_, options_.max_timestamps);
   }
+  retire_at_ = tuning_.retire_at;
+  messages_at_.assign(horizon_, 0);
+  violated_at_.assign(horizon_, 0);
+  advance_at_.assign(horizon_, 0.0);
+  seconds_at_.assign(horizon_, 0.0);
 }
 
-void GroupSession::TriggerUpdate() {
+void GroupSession::AdvanceClients(size_t t) {
+  for (MpnClient& c : clients_) c.Advance(t);
+  ++metrics_.timestamps;
+  advance_at_[t] = Now();
+}
+
+void GroupSession::CaptureSnapshot(size_t t, Snapshot* snap) const {
+  snap->t = t;
+  snap->locations.clear();
+  snap->hints.clear();
+  snap->locations.reserve(clients_.size());
+  snap->hints.reserve(clients_.size());
+  for (const MpnClient& c : clients_) {
+    snap->locations.push_back(c.location());
+    snap->hints.push_back(c.Hint());
+  }
+}
+
+void GroupSession::RecordViolation(size_t t) {
   const size_t m = clients_.size();
   ++metrics_.updates;
+  violated_at_[t] = 1;
 
   // Step 1: the triggering user reports location + motion hint.
   metrics_.comm.Record(MessageType::kLocationUpdate,
@@ -41,41 +70,97 @@ void GroupSession::TriggerUpdate() {
                          kValuesPerPoint + kValuesPerMotionHint,
                          packet_model_);
   }
+  messages_at_[t] += 1 + 2 * (m - 1);
+}
 
-  // Server recomputation.
-  std::vector<Point> locations;
-  std::vector<MotionHint> hints;
-  locations.reserve(m);
-  hints.reserve(m);
-  for (const MpnClient& c : clients_) {
-    locations.push_back(c.location());
-    hints.push_back(c.Hint());
+bool GroupSession::AdvanceAndCheck(Snapshot* snap) {
+  MPN_ASSERT(mailbox_.empty());
+  // Re-checked (not asserted): a concurrent RetireSession may truncate the
+  // horizon between the scheduler's readiness check and this call.
+  if (AdvancesExhausted()) return false;
+  Timer timer;
+  const size_t t = next_t_++;
+  AdvanceClients(t);
+  bool violated = !has_result_;
+  if (!violated) {
+    for (const MpnClient& c : clients_) {
+      if (!c.InsideRegion()) {
+        violated = true;
+        break;
+      }
+    }
   }
+  if (violated) {
+    RecordViolation(t);
+    CaptureSnapshot(t, snap);
+  } else if (options_.check_correctness && has_result_) {
+    std::vector<Point> locations;
+    locations.reserve(clients_.size());
+    for (const MpnClient& c : clients_) locations.push_back(c.location());
+    CheckInvariantAt(locations);
+  }
+  seconds_at_[t] += timer.ElapsedSeconds();
+  return violated;
+}
+
+void GroupSession::BufferAdvance() {
+  // Re-checked (not asserted): a concurrent RetireSession may have
+  // exhausted the horizon since the event was scheduled.
+  if (!CanBuffer()) return;
+  Timer timer;
+  const size_t t = next_t_++;
+  AdvanceClients(t);
+  mailbox_.emplace_back();
+  CaptureSnapshot(t, &mailbox_.back());
+  seconds_at_[t] += timer.ElapsedSeconds();
+}
+
+GroupSession::RecomputeOutcome GroupSession::Recompute(const Snapshot& snap) {
+  Timer timer;
+  RecomputeOutcome outcome;
+  outcome.t = snap.t;
   const double before = server_.compute_seconds();
-  MsrResult result = server_.Recompute(locations, hints);
-  metrics_.server_seconds += server_.compute_seconds() - before;
+  outcome.result = server_.Recompute(snap.locations, snap.hints);
+  outcome.compute_seconds = server_.compute_seconds() - before;
 
   if (options_.check_correctness) {
     // The reported optimum must match brute force (ties by distance allowed).
-    const auto best = FindGnnBruteForce(*pois_, locations,
+    const auto best = FindGnnBruteForce(*pois_, snap.locations,
                                         options_.server.objective, 1);
     MPN_ASSERT(!best.empty());
-    const double reported = AggDist(result.po, locations,
+    const double reported = AggDist(outcome.result.po, snap.locations,
                                     options_.server.objective);
     MPN_ASSERT_MSG(reported <= best[0].agg + 1e-7 * (1.0 + best[0].agg),
                    "server reported a non-optimal meeting point");
     // Every client must be inside its fresh region.
-    for (size_t i = 0; i < m; ++i) {
-      MPN_ASSERT_MSG(result.regions[i].Contains(locations[i]),
+    for (size_t i = 0; i < snap.locations.size(); ++i) {
+      MPN_ASSERT_MSG(outcome.result.regions[i].Contains(snap.locations[i]),
                      "fresh safe region excludes the user's location");
     }
   }
 
+  // Straggler injection: pad the recomputation to cost_factor times its
+  // real duration. Pure wall-clock — results and digest are unaffected.
+  if (tuning_.recompute_cost_factor > 1.0) {
+    const double target =
+        timer.ElapsedSeconds() * tuning_.recompute_cost_factor;
+    while (timer.ElapsedSeconds() < target) {
+    }
+  }
+  seconds_at_[snap.t] += timer.ElapsedSeconds();
+  return outcome;
+}
+
+void GroupSession::InstallResult(RecomputeOutcome outcome) {
+  Timer timer;
+  const size_t m = clients_.size();
+  MsrResult& result = outcome.result;
   if (!has_result_ || result.po_id != current_po_) {
     if (has_result_) ++metrics_.result_changes;
     current_po_ = result.po_id;
     has_result_ = true;
   }
+  metrics_.server_seconds += outcome.compute_seconds;
 
   // Step 3: ship po + safe region to every user; tile regions go through
   // the lossless codec so clients hold exactly the wire representation.
@@ -90,41 +175,47 @@ void GroupSession::TriggerUpdate() {
       clients_[i].SetRegion(SafeRegion::MakeTiles(DecodeTileRegion(enc)));
     }
   }
+  messages_at_[outcome.t] += m;
+  seconds_at_[outcome.t] += timer.ElapsedSeconds();
 }
 
-void GroupSession::CheckInvariant() const {
+GroupSession::Replay GroupSession::ReplayOne(Snapshot* snap) {
+  if (mailbox_.empty()) return Replay::kEmpty;
+  Timer timer;
+  Snapshot entry = std::move(mailbox_.front());
+  mailbox_.pop_front();
+  // Retirement landed below an already-buffered timestamp (asap mode):
+  // drop the update unchecked — the session is past its horizon.
+  if (entry.t >= effective_horizon()) return Replay::kClean;
+
+  bool violated = false;
+  for (size_t i = 0; i < clients_.size(); ++i) {
+    if (!clients_[i].region().Contains(entry.locations[i])) {
+      violated = true;
+      break;
+    }
+  }
+  if (violated) {
+    RecordViolation(entry.t);
+    *snap = std::move(entry);
+    seconds_at_[snap->t] += timer.ElapsedSeconds();
+    return Replay::kViolation;
+  }
+  if (options_.check_correctness) CheckInvariantAt(entry.locations);
+  seconds_at_[entry.t] += timer.ElapsedSeconds();
+  return Replay::kClean;
+}
+
+void GroupSession::CheckInvariantAt(
+    const std::vector<Point>& locations) const {
   // Safe-region invariant: while everyone is inside, the last reported
   // meeting point must still be optimal.
-  bool all_inside = true;
-  std::vector<Point> locations;
-  for (const MpnClient& c : clients_) {
-    locations.push_back(c.location());
-    all_inside = all_inside && c.InsideRegion();
-  }
-  if (!all_inside) return;
   const auto best = FindGnnBruteForce(*pois_, locations,
                                       options_.server.objective, 1);
   const double reported =
       AggDist((*pois_)[current_po_], locations, options_.server.objective);
   MPN_ASSERT_MSG(reported <= best[0].agg + 1e-7 * (1.0 + best[0].agg),
                  "stale meeting point while all users inside regions");
-}
-
-bool GroupSession::Tick() {
-  MPN_ASSERT(!done());
-  const size_t t = next_t_++;
-  for (MpnClient& c : clients_) c.Advance(t);
-  ++metrics_.timestamps;
-  bool violated = !has_result_;
-  for (const MpnClient& c : clients_) {
-    if (!c.InsideRegion()) {
-      violated = true;
-      break;
-    }
-  }
-  if (violated) TriggerUpdate();
-  if (options_.check_correctness && has_result_) CheckInvariant();
-  return violated;
 }
 
 }  // namespace mpn

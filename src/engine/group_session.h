@@ -1,16 +1,47 @@
 // One group's Fig. 3 protocol round-trip as an independent state machine.
 //
 // A GroupSession owns the server-side computation state (MpnServer) and the
-// client replicas (MpnClient) of a single moving group, and advances them
-// one timestamp per Tick(): advance clients, detect a safe-region
-// violation, and — when violated — run the full update round (steps 1-3 of
-// the protocol, including the lossless tile codec round-trip). Sessions
-// share nothing mutable with each other, so the Engine can run any set of
-// sessions' Ticks concurrently and the per-session results are bit-exact
-// regardless of the thread count or interleaving.
+// client replicas (MpnClient) of a single moving group. Since the engine
+// went event-driven the per-timestamp step is split into schedulable
+// phases so the expensive safe-region recomputation can run off the tick
+// path:
+//
+//   AdvanceAndCheck  — advance clients one timestamp and check containment
+//                      (the fast path). On a violation it captures the
+//                      locations + motion hints the recomputation needs.
+//   Recompute        — the Tile/Circle-MSR run. Touches only the server
+//                      state, so the scheduler executes it as an async pool
+//                      job concurrently with BufferAdvance calls.
+//   BufferAdvance    — while a recomputation is in flight, location
+//                      updates keep arriving: advance clients and append
+//                      the snapshot to a bounded mailbox instead of
+//                      checking regions the session does not have yet.
+//   InstallResult    — apply a finished recomputation (step-3 messages,
+//                      codec round-trip, region installation), then
+//   ReplayOne        — re-check the buffered updates, oldest first,
+//                      against the fresh regions; a violation mid-replay
+//                      captures a new recomputation snapshot and leaves
+//                      the remaining mailbox entries queued.
+//
+// The logical per-session order — advance t, check t against the newest
+// regions, recompute with the locations of the violating timestamp — is
+// exactly the order the old synchronous Tick() produced, so per-session
+// results are bit-identical to a sequential run no matter how the
+// scheduler interleaves sessions or how long a recomputation takes in
+// wall-clock terms. Sessions share nothing mutable with each other.
+//
+// Thread-safety contract: all methods except Recompute must be serialized
+// per session (the scheduler guarantees one session event at a time).
+// Recompute may run concurrently with BufferAdvance on the same session —
+// it touches only the MpnServer and its own outcome. Two Recomputes of the
+// same session never overlap.
 #pragma once
 
+#include <atomic>
+#include <cstddef>
 #include <cstdint>
+#include <deque>
+#include <limits>
 #include <vector>
 
 #include "net/message.h"
@@ -18,36 +49,123 @@
 #include "sim/server.h"
 #include "sim/simulator.h"
 #include "traj/trajectory.h"
+#include "util/timer.h"
 
 namespace mpn {
 
-/// Single-group protocol state machine, driven by the Engine.
+/// Per-session knobs of the dynamic-admission API.
+struct SessionTuning {
+  /// Multiplies the wall-clock cost of every recomputation by busy-waiting
+  /// (straggler injection for scheduling benches). Results are unaffected —
+  /// only wall time, which the digest excludes.
+  double recompute_cost_factor = 1.0;
+  /// Deterministic retirement: the session stops before advancing to this
+  /// timestamp, exactly as if its horizon were min(horizon, retire_at).
+  /// Settable later via Engine::RetireSession.
+  size_t retire_at = std::numeric_limits<size_t>::max();
+  /// Buffered location updates the session may accumulate while a
+  /// recomputation is in flight (0 = the session stalls instead).
+  size_t mailbox_capacity = 16;
+};
+
+/// Single-group protocol state machine, driven by the engine's scheduler.
 class GroupSession {
  public:
+  /// Probe-phase capture of one timestamp: everything a recomputation (or a
+  /// deferred region check) needs from the clients.
+  struct Snapshot {
+    size_t t = 0;
+    std::vector<Point> locations;
+    std::vector<MotionHint> hints;
+  };
+
+  /// Result of one async recomputation, handed back to InstallResult.
+  struct RecomputeOutcome {
+    size_t t = 0;                 ///< violating timestamp
+    MsrResult result;
+    double compute_seconds = 0.0; ///< server time (excl. straggler spin)
+  };
+
+  /// Outcome of re-checking one buffered location update.
+  enum class Replay {
+    kClean,      ///< inside the fresh regions; entry consumed
+    kViolation,  ///< outside; entry consumed, snapshot captured
+    kEmpty       ///< mailbox drained
+  };
+
   /// All referenced data must outlive the session. All trajectories must be
-  /// at least as long as the simulated horizon.
+  /// at least as long as the simulated horizon. `run_timer` (optional) is
+  /// the engine-wide clock advance completions are stamped against.
   GroupSession(uint32_t id, const std::vector<Point>* pois, const RTree* tree,
-               std::vector<const Trajectory*> group,
-               const SimOptions& options);
+               std::vector<const Trajectory*> group, const SimOptions& options,
+               const SessionTuning& tuning = SessionTuning(),
+               const Timer* run_timer = nullptr);
 
   uint32_t id() const { return id_; }
 
-  /// Timestamps this session will simulate (min trajectory length, capped
-  /// by SimOptions::max_timestamps).
+  /// Timestamps this session would simulate without retirement (min
+  /// trajectory length, capped by SimOptions::max_timestamps).
   size_t horizon() const { return horizon_; }
 
-  /// True once every timestamp has been processed.
-  bool done() const { return next_t_ >= horizon_; }
+  /// Horizon after retirement truncation.
+  size_t effective_horizon() const {
+    const size_t r = retire_at_;
+    return r < horizon_ ? r : horizon_;
+  }
 
-  /// Processes the next timestamp; returns true when the tick triggered a
-  /// safe-region recomputation (a notification round). Must not be called
-  /// when done(); safe to call concurrently with other sessions' Tick but
-  /// never concurrently for the same session.
-  bool Tick();
+  /// Next timestamp an Advance call would process.
+  size_t next_timestamp() const { return next_t_; }
+
+  /// True when no further advances are possible.
+  bool AdvancesExhausted() const { return next_t_ >= effective_horizon(); }
+
+  /// True when every advanced timestamp has also been region-checked (or
+  /// dropped by retirement) — i.e. nothing is buffered.
+  bool MailboxEmpty() const { return mailbox_.empty(); }
+
+  /// True while a recomputation is in flight and another location update
+  /// still fits the mailbox.
+  bool CanBuffer() const {
+    return !AdvancesExhausted() && mailbox_.size() < tuning_.mailbox_capacity;
+  }
+
+  /// True once every timestamp has been processed (the scheduler must also
+  /// see no recomputation in flight before finalizing).
+  bool done() const { return AdvancesExhausted() && mailbox_.empty(); }
+
+  /// Fast path: advance clients one timestamp and check containment.
+  /// Returns true on a safe-region violation, with `snap` filled for the
+  /// recomputation. Requires an empty mailbox; no-op (returns false) when
+  /// a concurrent retirement already exhausted the horizon.
+  bool AdvanceAndCheck(Snapshot* snap);
+
+  /// Advance clients one timestamp into the mailbox (recompute in flight).
+  /// No-op when a concurrent retirement invalidated CanBuffer().
+  void BufferAdvance();
+
+  /// Runs the safe-region recomputation for `snap`. The only method the
+  /// scheduler may run concurrently with BufferAdvance.
+  RecomputeOutcome Recompute(const Snapshot& snap);
+
+  /// Applies a finished recomputation: result bookkeeping, step-3 messages,
+  /// codec round-trip, region installation.
+  void InstallResult(RecomputeOutcome outcome);
+
+  /// Re-checks the oldest buffered update against the current regions.
+  Replay ReplayOne(Snapshot* snap);
 
   /// Pulls the server's accumulated algorithm counters into metrics().
-  /// Call once after the last Tick.
+  /// Call once after the last phase (no recomputation may be in flight).
   void Finish() { metrics_.msr = server_.stats(); }
+
+  /// Requests retirement: the session stops before advancing to timestamp
+  /// `at` (already-advanced timestamps are unaffected; buffered updates at
+  /// or past `at` are dropped unchecked). Callable from any thread.
+  void RequestRetire(size_t at) {
+    size_t cur = retire_at_;
+    while (at < cur && !retire_at_.compare_exchange_weak(cur, at)) {
+    }
+  }
 
   /// Metrics accumulated so far.
   const SimMetrics& metrics() const { return metrics_; }
@@ -58,23 +176,53 @@ class GroupSession {
   /// True after the first update round.
   bool has_result() const { return has_result_; }
 
+  // --- per-timestamp traces (engine round stats + latency percentiles) ---
+
+  /// Protocol messages attributed to timestamp t (step 1/2 at the
+  /// violation, step 3 at the install of that violation's result).
+  const std::vector<uint32_t>& messages_at() const { return messages_at_; }
+  /// 1 when timestamp t triggered a recomputation.
+  const std::vector<uint8_t>& violated_at() const { return violated_at_; }
+  /// Wall seconds (against the engine run timer) when timestamp t's advance
+  /// completed; the gaps are the per-session round latencies.
+  const std::vector<double>& advance_seconds() const { return advance_at_; }
+  /// Processing seconds attributed to timestamp t (tick + recompute +
+  /// install work).
+  const std::vector<double>& work_seconds_at() const { return seconds_at_; }
+
  private:
-  void TriggerUpdate();
-  void CheckInvariant() const;  // check_correctness mode only
+  void AdvanceClients(size_t t);
+  void CaptureSnapshot(size_t t, Snapshot* snap) const;
+  /// Step 1/2 message accounting + update counters for a violation at t.
+  void RecordViolation(size_t t);
+  /// check_correctness mode: the last reported meeting point must still be
+  /// optimal for `locations` while every user is inside their region.
+  void CheckInvariantAt(const std::vector<Point>& locations) const;
+  double Now() const { return run_timer_ != nullptr
+                                  ? run_timer_->ElapsedSeconds() : 0.0; }
 
   uint32_t id_;
   const std::vector<Point>* pois_;
   const RTree* tree_;
   std::vector<const Trajectory*> group_;
   SimOptions options_;
+  SessionTuning tuning_;
+  const Timer* run_timer_;
   MpnServer server_;
   std::vector<MpnClient> clients_;
   PacketModel packet_model_;
   SimMetrics metrics_;
   size_t horizon_ = 0;
   size_t next_t_ = 0;
+  std::atomic<size_t> retire_at_{std::numeric_limits<size_t>::max()};
+  std::deque<Snapshot> mailbox_;
   bool has_result_ = false;
   uint32_t current_po_ = 0;
+
+  std::vector<uint32_t> messages_at_;
+  std::vector<uint8_t> violated_at_;
+  std::vector<double> advance_at_;
+  std::vector<double> seconds_at_;
 };
 
 }  // namespace mpn

@@ -1,0 +1,182 @@
+#include "engine/scheduler.h"
+
+#include <memory>
+#include <utility>
+
+#include "util/macros.h"
+
+namespace mpn {
+
+Scheduler::Scheduler(ThreadPool* pool, SessionTable* table)
+    : pool_(pool), table_(table) {
+  MPN_ASSERT(pool_ != nullptr && table_ != nullptr);
+}
+
+void Scheduler::Start() {
+  MPN_ASSERT_MSG(!started(), "Scheduler::Start called twice");
+  started_.store(true, std::memory_order_release);
+  table_->ForEachOrdered([this](SessionRecord* r) {
+    std::lock_guard<std::mutex> lock(r->mu);
+    ScheduleNextLocked(r);
+  });
+}
+
+void Scheduler::Admit(SessionRecord* r) {
+  if (!started()) return;  // Start() schedules pre-start admissions
+  std::lock_guard<std::mutex> lock(r->mu);
+  ScheduleNextLocked(r);
+}
+
+void Scheduler::WaitIdle(bool ignore_holds) {
+  std::unique_lock<std::mutex> lock(idle_mu_);
+  idle_cv_.wait(lock, [this, ignore_holds]() {
+    return outstanding_ == 0 && (ignore_holds || holds_ == 0);
+  });
+}
+
+void Scheduler::Hold() {
+  std::lock_guard<std::mutex> lock(idle_mu_);
+  ++holds_;
+}
+
+void Scheduler::Release() {
+  std::lock_guard<std::mutex> lock(idle_mu_);
+  MPN_ASSERT(holds_ > 0);
+  if (--holds_ == 0 && outstanding_ == 0) idle_cv_.notify_all();
+}
+
+void Scheduler::AddOutstanding() {
+  std::lock_guard<std::mutex> lock(idle_mu_);
+  ++outstanding_;
+}
+
+void Scheduler::SubOutstanding() {
+  std::lock_guard<std::mutex> lock(idle_mu_);
+  MPN_ASSERT(outstanding_ > 0);
+  if (--outstanding_ == 0 && holds_ == 0) idle_cv_.notify_all();
+}
+
+void Scheduler::ScheduleEventLocked(SessionRecord* r, uint64_t priority) {
+  r->event_queued = true;
+  AddOutstanding();
+  pool_->Post([this, r]() { RunEvent(r); }, priority);
+}
+
+void Scheduler::ScheduleNextLocked(SessionRecord* r) {
+  if (!started()) return;
+  if (r->finalized || r->event_queued || r->event_running) return;
+  GroupSession* s = r->session.get();
+  if (r->result_ready) {
+    // Install + replay, at the violating timestamp's priority: a lagging
+    // session's catch-up beats other sessions' future ticks.
+    ScheduleEventLocked(r, EventPriority(r->outcome.t, s->id()));
+    return;
+  }
+  if (r->job_running) {
+    // Recompute in flight: keep draining location updates into the
+    // mailbox while it has room; otherwise the job's completion callback
+    // re-arms the session.
+    if (s->CanBuffer()) {
+      ScheduleEventLocked(r, EventPriority(s->next_timestamp(), s->id()));
+    }
+    return;
+  }
+  if (!s->done()) {
+    ScheduleEventLocked(r, EventPriority(s->next_timestamp(), s->id()));
+    return;
+  }
+  FinalizeLocked(r);
+}
+
+void Scheduler::FinalizeLocked(SessionRecord* r) {
+  MPN_ASSERT(!r->job_running && !r->result_ready && !r->finalized);
+  GroupSession* s = r->session.get();
+  s->Finish();
+  r->finalized = true;
+  const size_t n = s->next_timestamp();  // timestamps actually advanced
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  if (slots_.size() < n) slots_.resize(n);
+  for (size_t t = 0; t < n; ++t) {
+    slots_[t].messages += s->messages_at()[t];
+    slots_[t].recomputes += s->violated_at()[t];
+    slots_[t].seconds += s->work_seconds_at()[t];
+    ++slots_[t].sessions;
+  }
+}
+
+void Scheduler::RunEvent(SessionRecord* r) {
+  GroupSession* s = r->session.get();
+  bool do_install = false;
+  bool awaiting = false;
+  GroupSession::RecomputeOutcome outcome;
+  {
+    std::lock_guard<std::mutex> lock(r->mu);
+    r->event_queued = false;
+    r->event_running = true;
+    if (r->result_ready) {
+      do_install = true;
+      outcome = std::move(r->outcome);
+      r->result_ready = false;
+    } else {
+      awaiting = r->job_running;
+    }
+  }
+
+  bool post_job = false;
+  GroupSession::Snapshot snap;
+  if (do_install) {
+    s->InstallResult(std::move(outcome));
+    for (;;) {
+      const GroupSession::Replay rr = s->ReplayOne(&snap);
+      if (rr == GroupSession::Replay::kViolation) {
+        post_job = true;
+        break;
+      }
+      if (rr == GroupSession::Replay::kEmpty) break;
+    }
+  } else if (awaiting) {
+    // The event was queued as a buffer tick; room may have vanished if a
+    // retirement truncated the horizon meanwhile.
+    if (s->CanBuffer()) s->BufferAdvance();
+  } else if (!s->AdvancesExhausted()) {
+    MPN_ASSERT(s->MailboxEmpty());
+    post_job = s->AdvanceAndCheck(&snap);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(r->mu);
+    r->event_running = false;
+    if (post_job) r->job_running = true;
+    ScheduleNextLocked(r);
+  }
+  if (post_job) PostJob(r, std::move(snap));
+  SubOutstanding();
+}
+
+void Scheduler::PostJob(SessionRecord* r, GroupSession::Snapshot snap) {
+  AddOutstanding();
+  const uint64_t priority = EventPriority(snap.t, r->session->id());
+  // shared_ptr because std::function requires copyable callables.
+  auto shared = std::make_shared<GroupSession::Snapshot>(std::move(snap));
+  pool_->Post(
+      [r, shared]() {
+        GroupSession::RecomputeOutcome outcome =
+            r->session->Recompute(*shared);
+        std::lock_guard<std::mutex> lock(r->mu);
+        r->outcome = std::move(outcome);
+      },
+      priority,
+      /*on_complete=*/[this, r]() { OnJobDone(r); });
+}
+
+void Scheduler::OnJobDone(SessionRecord* r) {
+  {
+    std::lock_guard<std::mutex> lock(r->mu);
+    r->job_running = false;
+    r->result_ready = true;
+    ScheduleNextLocked(r);
+  }
+  SubOutstanding();
+}
+
+}  // namespace mpn

@@ -1,0 +1,113 @@
+// Event-driven session scheduler.
+//
+// Replaces the old lockstep round loop (every live session ticked once per
+// global round, barrier between rounds) with independent per-session
+// virtual clocks: each session's next step is an event ordered by
+// (next_timestamp, session_id) in the thread pool's priority queue — the
+// ready min-heap. A lagging session therefore delays only itself; everyone
+// else keeps draining their own timelines.
+//
+// Per session, exactly one *event* (tick / buffer tick / install+replay)
+// executes at a time; re-arming is a chain — each event schedules the
+// session's next step as it completes. A safe-region violation posts the
+// expensive recomputation as an async pool job and the session leaves the
+// ready queue; while the job runs, location updates keep landing through
+// buffer-tick events into the session's bounded mailbox. The job's
+// completion callback re-arms the session: the next event installs the
+// fresh regions and replays the mailbox. The recomputation job is the only
+// session work that may run concurrently with a session event (it touches
+// only server state — see group_session.h).
+//
+// Determinism: the scheduler fixes *which* logical step a session runs
+// next, never the wall-clock interleaving across sessions — and a
+// session's logical step order is a pure function of its own inputs, so
+// per-session results are bit-identical across thread counts, admission
+// timing, and recomputation latency. Per-timestamp aggregates fold at
+// session finalization with commutative sums, so they are deterministic
+// too.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "engine/session_table.h"
+#include "util/thread_pool.h"
+
+namespace mpn {
+
+/// Drives session events and async recomputations over a thread pool.
+class Scheduler {
+ public:
+  Scheduler(ThreadPool* pool, SessionTable* table);
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Begins dispatching: schedules the first event of every session
+  /// admitted so far. Sessions admitted later self-schedule via Admit.
+  void Start();
+
+  /// True after Start().
+  bool started() const { return started_.load(std::memory_order_acquire); }
+
+  /// Schedules a freshly admitted session's first event (no-op before
+  /// Start — Start picks it up). Finalizes already-done (zero-horizon)
+  /// sessions immediately.
+  void Admit(SessionRecord* record);
+
+  /// Blocks until no events or jobs are queued/running and no holds are
+  /// outstanding. With `ignore_holds`, returns as soon as the work drains
+  /// (engine destruction path).
+  void WaitIdle(bool ignore_holds = false);
+
+  /// A hold keeps WaitIdle from returning while mid-run admissions are
+  /// still coming (otherwise the engine could drain and stop between two
+  /// AdmitSession calls).
+  void Hold();
+  void Release();
+
+  /// Per-timestamp aggregates across all finalized sessions. Valid after
+  /// WaitIdle.
+  struct Slot {
+    size_t messages = 0;    ///< protocol messages attributed to this ts
+    size_t recomputes = 0;  ///< safe-region violations at this ts
+    double seconds = 0.0;   ///< processing seconds attributed to this ts
+    size_t sessions = 0;    ///< sessions that advanced through this ts
+  };
+  const std::vector<Slot>& slots() const { return slots_; }
+
+ private:
+  /// Priority of a session event: virtual time first, session id as the
+  /// tie-break — the (next_timestamp, session_id) ready ordering.
+  static uint64_t EventPriority(size_t t, uint32_t id) {
+    return (static_cast<uint64_t>(t) << 32) | id;
+  }
+
+  void RunEvent(SessionRecord* r);
+  void PostJob(SessionRecord* r, GroupSession::Snapshot snap);
+  void OnJobDone(SessionRecord* r);
+  /// Decides and schedules the session's next step. Caller holds r->mu.
+  void ScheduleNextLocked(SessionRecord* r);
+  void ScheduleEventLocked(SessionRecord* r, uint64_t priority);
+  /// Finish + fold the session's traces into the slots. Caller holds r->mu.
+  void FinalizeLocked(SessionRecord* r);
+  void AddOutstanding();
+  void SubOutstanding();
+
+  ThreadPool* pool_;
+  SessionTable* table_;
+  std::atomic<bool> started_{false};
+
+  std::mutex idle_mu_;
+  std::condition_variable idle_cv_;
+  size_t outstanding_ = 0;  ///< queued/running events + jobs (idle_mu_)
+  size_t holds_ = 0;        ///< outstanding admission holds (idle_mu_)
+
+  std::mutex stats_mu_;
+  std::vector<Slot> slots_;
+};
+
+}  // namespace mpn

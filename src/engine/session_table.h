@@ -1,0 +1,93 @@
+// Sharded session table of the event-driven engine.
+//
+// Admission and retirement must never contend with the hot scheduling
+// path, so sessions live in a fixed number of shards, each guarded by its
+// own mutex: an AdmitSession call locks exactly one shard (id % shards)
+// while the scheduler's per-event lookups touch a different shard with
+// probability (shards-1)/shards. Ids come from a single atomic counter, so
+// they are dense and globally ordered — the digest and the metrics
+// iteration read sessions in admission order regardless of which thread
+// admitted them.
+//
+// A SessionRecord bundles the GroupSession with the scheduler's per-session
+// flags. The record mutex serializes only the *scheduling decisions* (who
+// runs the next event); the session phases themselves execute outside it.
+// Records are never erased — a retired session keeps its metrics and final
+// meeting point for the digest.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "engine/group_session.h"
+
+namespace mpn {
+
+/// One session plus its scheduling state.
+struct SessionRecord {
+  explicit SessionRecord(std::unique_ptr<GroupSession> s)
+      : session(std::move(s)) {}
+
+  std::unique_ptr<GroupSession> session;
+
+  /// Guards the flags below (never held while a session phase runs).
+  std::mutex mu;
+  bool event_queued = false;   ///< a session event sits in the ready queue
+  bool event_running = false;  ///< a session event is executing
+  bool job_running = false;    ///< an async recomputation is in flight
+  bool result_ready = false;   ///< `outcome` holds a finished recomputation
+  bool finalized = false;      ///< Finish() ran; stats folded
+  GroupSession::RecomputeOutcome outcome;  ///< valid while result_ready
+};
+
+/// Fixed-shard concurrent map id -> SessionRecord.
+class SessionTable {
+ public:
+  explicit SessionTable(size_t shard_count);
+
+  SessionTable(const SessionTable&) = delete;
+  SessionTable& operator=(const SessionTable&) = delete;
+
+  /// Inserts a record for the next dense id (returned via record->session's
+  /// id, which the caller must construct with ReserveId()).
+  uint32_t ReserveId() {
+    return next_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Registers the record under its session's id (from ReserveId).
+  SessionRecord* Insert(std::unique_ptr<SessionRecord> record);
+
+  /// Looks up a session record; nullptr when the id was never admitted.
+  SessionRecord* Find(uint32_t id) const;
+
+  /// Sessions admitted so far.
+  size_t size() const { return next_id_.load(std::memory_order_acquire); }
+
+  /// Visits every admitted record in ascending id order. Not synchronized
+  /// with concurrent admissions — call after the engine drained.
+  template <typename Fn>
+  void ForEachOrdered(Fn&& fn) const {
+    const size_t n = size();
+    for (uint32_t id = 0; id < n; ++id) {
+      SessionRecord* r = Find(id);
+      if (r != nullptr) fn(r);
+    }
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    /// Record for id sits at slot id / shard_count (dense per shard).
+    std::vector<std::unique_ptr<SessionRecord>> records;
+  };
+
+  size_t shard_count_;
+  std::vector<Shard> shards_;
+  std::atomic<uint32_t> next_id_{0};
+};
+
+}  // namespace mpn

@@ -480,14 +480,19 @@ uint32_t CHIndex::CollectBackwardArcs(const SearchScratch& bwd, uint32_t node,
   return v;  // the chain root (a seed node)
 }
 
-void CHIndex::CollectTargetArcs(const std::vector<TargetSet::Entry>& entries,
-                                uint32_t entry,
-                                std::vector<uint32_t>* arcs) const {
+double CHIndex::FoldTargetSuffix(const TargetSet& targets, uint32_t j,
+                                 uint32_t entry, double init) {
+  const std::vector<TargetSet::Entry>& entries = targets.per_target_[j];
+  const std::vector<double>& weights = targets.per_target_weights_[j];
+  double d = init;
   uint32_t e = entry;
   while (entries[e].parent != TargetSet::kNoEntry) {
-    AppendOriginalArcs(entries[e].arc, arcs);
-    e = entries[e].parent;
+    const TargetSet::Entry& rec = entries[e];
+    const double* w = weights.data() + rec.unpack_off;
+    for (uint32_t k = 0; k < rec.unpack_len; ++k) d += w[k];
+    e = rec.parent;
   }
+  return d;
 }
 
 double CHIndex::FoldArcs(double init, const std::vector<uint32_t>& arcs) const {
@@ -627,7 +632,9 @@ CHIndex::TargetSet CHIndex::MakeTargetSet(const std::vector<uint32_t>& targets,
                                           ThreadPool* pool) const {
   TargetSet ts;
   ts.per_target_.resize(targets.size());
+  ts.per_target_weights_.resize(targets.size());
   auto run_target = [&](size_t lo, size_t hi) {
+    static thread_local std::vector<uint32_t> expansion;
     for (size_t j = lo; j < hi; ++j) {
       MPN_ASSERT(targets[j] < NodeCount());
       SearchScratch& s = TlsBwd();
@@ -635,18 +642,30 @@ CHIndex::TargetSet CHIndex::MakeTargetSet(const std::vector<uint32_t>& targets,
       const Seed seed{perm_[targets[j]], 0.0};
       UpwardSearch(up_bwd_, BwdStallGraph(), &seed, 1, &s);
       std::vector<TargetSet::Entry>& entries = ts.per_target_[j];
+      std::vector<double>& weights = ts.per_target_weights_[j];
       entries.reserve(s.settled.size());
       for (uint32_t idx = 0; idx < s.settled.size(); ++idx) {
         const uint32_t v = s.settled[idx];
         uint32_t parent_entry = TargetSet::kNoEntry;
         uint32_t arc = kNoArc;
+        uint32_t unpack_off = 0;
+        uint32_t unpack_len = 0;
         if (s.label[v].parent != kNoArc) {
           arc = s.label[v].parent;
           // The parent settles before the child, so its position is known.
           parent_entry = s.pos[arcs_[arc].to];
+          // Refold cache: expand the (possibly shortcut) arc into original
+          // arcs once, at build time, and keep only their weights in path
+          // order — queries then fold slices instead of recursing.
+          expansion.clear();
+          AppendOriginalArcs(arc, &expansion);
+          unpack_off = static_cast<uint32_t>(weights.size());
+          unpack_len = static_cast<uint32_t>(expansion.size());
+          for (uint32_t a : expansion) weights.push_back(arcs_[a].weight);
         }
         s.pos[v] = idx;
-        entries.push_back({v, parent_entry, arc, s.label[v].dist});
+        entries.push_back(
+            {v, parent_entry, arc, s.label[v].dist, unpack_off, unpack_len});
       }
     }
   };
@@ -734,14 +753,31 @@ void CHIndex::SeededDistances(const std::vector<Seed>& seeds,
   }
 
   // Refold pass: Dijkstra's left-sum along the unpacked original path,
-  // starting from the seed value at the chain root.
-  static thread_local std::vector<uint32_t> arcs;
+  // starting from the seed value at the chain root. Targets that picked
+  // the same meeting node share the forward chain, so group by meet and
+  // unpack + fold it once; the per-target remainder continues the fold
+  // over the cached unpacked suffix (FoldTargetSuffix). Both reuse steps
+  // replay exactly the additions of the ungrouped refold, in the same
+  // order, so the distances stay bit-identical.
+  static thread_local std::vector<std::pair<uint32_t, uint32_t>> by_meet;
+  by_meet.clear();
   for (size_t j = 0; j < t_count; ++j) {
-    if (pick[j].first == kNoNode) continue;
+    if (pick[j].first != kNoNode) {
+      by_meet.emplace_back(pick[j].first, static_cast<uint32_t>(j));
+    }
+  }
+  std::sort(by_meet.begin(), by_meet.end());
+  static thread_local std::vector<uint32_t> arcs;
+  size_t i = 0;
+  while (i < by_meet.size()) {
+    const uint32_t meet = by_meet[i].first;
     arcs.clear();
-    const uint32_t root = CollectForwardArcs(fwd, pick[j].first, &arcs);
-    CollectTargetArcs(targets.per_target_[j], pick[j].second, &arcs);
-    (*out)[j] = FoldArcs(fwd.Dist(root), arcs);
+    const uint32_t root = CollectForwardArcs(fwd, meet, &arcs);
+    const double at_meet = FoldArcs(fwd.Dist(root), arcs);
+    for (; i < by_meet.size() && by_meet[i].first == meet; ++i) {
+      const uint32_t j = by_meet[i].second;
+      (*out)[j] = FoldTargetSuffix(targets, j, pick[j].second, at_meet);
+    }
   }
 }
 

@@ -69,7 +69,17 @@ class CHIndex {
 
   /// Precomputed backward upward searches + node buckets for a fixed set
   /// of target nodes (duplicates allowed). Build once per POI set, reuse
-  /// for every group query. Memory is O(targets x upward-search size).
+  /// for every group query. Memory is O(targets x upward-search size plus
+  /// the unpacked-suffix cache, see below).
+  ///
+  /// Refold cache: every entry stores the *unpacked original arcs* of its
+  /// parent shortcut as a slice into a per-target arc pool, precomputed at
+  /// build time. A query's refold then walks the entry chain copying
+  /// slices instead of recursively expanding shortcuts — the expansion
+  /// that used to dominate repeated SeededDistances calls against the same
+  /// POI target set. The arcs (and therefore the left-fold additions) are
+  /// identical to the recursive expansion, so distances stay bit-identical
+  /// to the Dijkstra oracle.
   class TargetSet {
    public:
     size_t TargetCount() const { return per_target_.size(); }
@@ -84,6 +94,8 @@ class CHIndex {
       uint32_t parent;  ///< entry index toward the target, or kNoEntry
       uint32_t arc;     ///< arc (node -> parent node) used, or kNoArc
       double dist;      ///< backward search distance (selection only)
+      uint32_t unpack_off;  ///< slice of the unpacked weights of `arc`
+      uint32_t unpack_len;  ///< (into the target's weight pool)
     };
     struct BucketItem {
       uint32_t target;
@@ -91,6 +103,9 @@ class CHIndex {
       double dist;
     };
     std::vector<std::vector<Entry>> per_target_;
+    /// Per-target pool of unpacked original-arc weights, in path order
+    /// (entries slice into it).
+    std::vector<std::vector<double>> per_target_weights_;
     // Bucket CSR keyed by settled node id (sorted, unique).
     std::vector<uint32_t> bucket_node_;
     std::vector<uint32_t> bucket_off_;
@@ -203,9 +218,12 @@ class CHIndex {
   /// and returns the chain root (a seed node).
   uint32_t CollectBackwardArcs(const SearchScratch& bwd, uint32_t node,
                                std::vector<uint32_t>* arcs) const;
-  /// Appends the unpacked arcs of a target-set entry chain entry -> target.
-  void CollectTargetArcs(const std::vector<TargetSet::Entry>& entries,
-                         uint32_t entry, std::vector<uint32_t>* arcs) const;
+  /// Continues Dijkstra's left-fold from `init` along the cached unpacked
+  /// suffix of target `j`'s entry chain (entry -> target) — the same arc
+  /// sequence, and therefore the same additions, as unpacking the chain's
+  /// shortcuts recursively.
+  static double FoldTargetSuffix(const TargetSet& targets, uint32_t j,
+                                 uint32_t entry, double init);
   /// Left-fold of arc weights starting at `init` — Dijkstra's accumulation.
   double FoldArcs(double init, const std::vector<uint32_t>& arcs) const;
   /// Shared p2p search (multi-seed, internal ids): returns the meeting

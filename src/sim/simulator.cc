@@ -35,7 +35,7 @@ SimMetrics Simulator::Run() {
   opt.threads = 1;
   opt.sim = options_;
   Engine engine(pois_, tree_, opt);
-  engine.AddSession(group_);
+  engine.AdmitSession(group_);
   engine.Run();
   return engine.session_metrics(0);
 }
@@ -47,7 +47,7 @@ SimMetrics RunGroups(const std::vector<Point>& pois, const RTree& tree,
   opt.threads = 1;
   opt.sim = options;
   Engine engine(&pois, &tree, opt);
-  for (const auto& group : groups) engine.AddSession(group);
+  for (const auto& group : groups) engine.AdmitSession(group);
   engine.Run();
   return engine.TotalMetrics();
 }

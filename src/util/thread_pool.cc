@@ -39,26 +39,31 @@ ThreadPool::~ThreadPool() {
   for (std::thread& w : workers_) w.join();
 }
 
-void ThreadPool::Enqueue(std::function<void()> fn) {
+void ThreadPool::Post(std::function<void()> fn, uint64_t priority,
+                      std::function<void()> on_complete) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    MPN_ASSERT_MSG(!stop_, "Submit on a stopped ThreadPool");
-    queue_.push_back(std::move(fn));
+    MPN_ASSERT_MSG(!stop_, "Post on a stopped ThreadPool");
+    queue_.push(Task{priority, next_seq_++, std::move(fn),
+                     std::move(on_complete)});
   }
   cv_.notify_one();
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this]() { return stop_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stop_ set and nothing left to drain
-      task = std::move(queue_.front());
-      queue_.pop_front();
+      // priority_queue::top is const; the task is about to be popped, so
+      // moving out of it is safe.
+      task = std::move(const_cast<Task&>(queue_.top()));
+      queue_.pop();
     }
-    task();
+    task.fn();
+    if (task.on_complete) task.on_complete();
   }
 }
 
@@ -103,12 +108,13 @@ void ThreadPool::ParallelFor(size_t n, size_t grain,
   }
 
   // Helper tasks race (the caller and) each other for chunks; late-running
-  // ones no-op.
+  // ones no-op. Urgent priority: the fan-out is sub-work of a job that is
+  // already executing, so it must not queue behind unrelated events.
   const size_t helpers = std::min(
       workers_.size(),
       caller_participates ? state->chunk_count - 1 : state->chunk_count);
   for (size_t i = 0; i < helpers; ++i) {
-    Enqueue([state]() { DrainChunks(state); });
+    Post([state]() { DrainChunks(state); }, kUrgentPriority);
   }
   if (caller_participates) DrainChunks(state);
   {

@@ -1,9 +1,16 @@
 // Fixed-size thread pool for the concurrent server engine.
 //
-// Two execution primitives:
+// Three execution primitives:
 //
-//  * Submit(fn)     — enqueues a task and returns a std::future for its
-//    result; exceptions thrown by the task propagate through the future.
+//  * Post(fn, priority, on_complete) — enqueues a fire-and-forget task into
+//    a priority queue (smaller priority value runs first; equal priorities
+//    run in submission order). The optional completion callback fires on
+//    the worker right after the task body — the event-driven scheduler uses
+//    it to re-arm a session when its async recomputation lands. Task bodies
+//    must not throw (there is no future to carry the exception).
+//  * Submit(fn)     — enqueues a task at the default priority and returns a
+//    std::future for its result; exceptions thrown by the task propagate
+//    through the future.
 //  * ParallelFor    — partitions [0, n) into fixed-size chunks and runs a
 //    body over each, using the pool AND the calling thread. The chunk
 //    layout depends only on (n, grain), never on the worker count, so any
@@ -12,16 +19,18 @@
 //    rests on. The caller claims chunks itself while it waits, so nested
 //    ParallelFor calls from inside pool tasks cannot deadlock even when
 //    every worker is busy: a saturated pool degrades to the caller running
-//    all chunks inline.
+//    all chunks inline. Helper tasks run at kUrgentPriority so a fan-out
+//    issued from inside a running job is never starved by queued events.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
-#include <deque>
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
+#include <queue>
 #include <thread>
 #include <type_traits>
 #include <utility>
@@ -34,6 +43,13 @@ namespace mpn {
 /// before shutdown completes.
 class ThreadPool {
  public:
+  /// Runs before anything else in the queue (ParallelFor helpers: sub-work
+  /// of a job that is already executing).
+  static constexpr uint64_t kUrgentPriority = 0;
+  /// Priority of plain Submit calls; prioritized work should sort below
+  /// this to preempt the default lane.
+  static constexpr uint64_t kDefaultPriority = uint64_t{1} << 63;
+
   /// Starts `threads` workers (clamped to at least 1).
   explicit ThreadPool(size_t threads);
 
@@ -52,14 +68,20 @@ class ThreadPool {
     return hw == 0 ? 1 : static_cast<size_t>(hw);
   }
 
-  /// Enqueues `fn` and returns a future for its result. Exceptions thrown
-  /// by the task are rethrown by future::get.
+  /// Enqueues a fire-and-forget task. Smaller `priority` runs first; ties
+  /// run in submission order. `on_complete` (optional) runs on the same
+  /// worker immediately after `fn`. Neither callable may throw.
+  void Post(std::function<void()> fn, uint64_t priority = kDefaultPriority,
+            std::function<void()> on_complete = nullptr);
+
+  /// Enqueues `fn` at the default priority and returns a future for its
+  /// result. Exceptions thrown by the task are rethrown by future::get.
   template <typename F>
   auto Submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
     using R = std::invoke_result_t<std::decay_t<F>>;
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> future = task->get_future();
-    Enqueue([task]() { (*task)(); });
+    Post([task]() { (*task)(); });
     return future;
   }
 
@@ -71,11 +93,11 @@ class ThreadPool {
   /// chunks alongside the workers — mandatory when calling from inside a
   /// pool task (it is what makes nested calls deadlock-free, and the
   /// calling worker would otherwise idle-block a pool slot). Pass false
-  /// from threads *outside* the pool that must not add an extra executor —
-  /// the engine's round loop does, so that "N threads" means exactly N
-  /// threads doing session work. Exception: a single-chunk call still runs
-  /// inline on the caller (there is never more than one executor active,
-  /// so nothing is oversubscribed and the handoff latency is saved).
+  /// from threads *outside* the pool that must not add an extra executor,
+  /// so that "N threads" means exactly N threads doing work. Exception: a
+  /// single-chunk call still runs inline on the caller (there is never
+  /// more than one executor active, so nothing is oversubscribed and the
+  /// handoff latency is saved).
   void ParallelFor(size_t n, size_t grain,
                    const std::function<void(size_t, size_t)>& body,
                    bool caller_participates = true);
@@ -83,14 +105,29 @@ class ThreadPool {
  private:
   struct ForState;  // shared chunk-claiming state of one ParallelFor
 
-  void Enqueue(std::function<void()> fn);
+  /// One queued task with its ordering key.
+  struct Task {
+    uint64_t priority;
+    uint64_t seq;
+    std::function<void()> fn;
+    std::function<void()> on_complete;
+  };
+  /// Min-heap order: smallest (priority, seq) on top.
+  struct TaskOrder {
+    bool operator()(const Task& a, const Task& b) const {
+      if (a.priority != b.priority) return a.priority > b.priority;
+      return a.seq > b.seq;
+    }
+  };
+
   void WorkerLoop();
   /// Claims and runs chunks until none remain. Returns once every chunk is
   /// claimed (not necessarily finished).
   static void DrainChunks(const std::shared_ptr<ForState>& state);
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+  std::priority_queue<Task, std::vector<Task>, TaskOrder> queue_;
+  uint64_t next_seq_ = 0;
   std::mutex mu_;
   std::condition_variable cv_;
   bool stop_ = false;

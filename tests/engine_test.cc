@@ -134,6 +134,55 @@ TEST(ThreadPoolTest, HardwareThreadsIsPositive) {
   EXPECT_GE(ThreadPool::HardwareThreads(), 1u);
 }
 
+TEST(ThreadPoolTest, PostRunsInPriorityOrder) {
+  // Gate the single worker, queue out of order, then observe that the
+  // priority heap replays the queue smallest-priority-first (ties FIFO).
+  ThreadPool pool(1);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool gate_open = false;
+  std::vector<int> order;
+  pool.Post([&]() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&]() { return gate_open; });
+  });
+  for (int tag : {3, 1, 2}) {
+    pool.Post(
+        [&order, &mu, tag]() {
+          std::lock_guard<std::mutex> lock(mu);
+          order.push_back(tag);
+        },
+        static_cast<uint64_t>(tag));
+  }
+  auto last = pool.Submit([]() {});  // default priority: runs after 1,2,3
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    gate_open = true;
+  }
+  cv.notify_all();
+  last.get();
+  std::lock_guard<std::mutex> lock(mu);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(ThreadPoolTest, PostCompletionCallbackRunsAfterTask) {
+  ThreadPool pool(2);
+  std::atomic<int> stage{0};
+  std::promise<void> done;
+  pool.Post(
+      [&stage]() {
+        int expected = 0;
+        stage.compare_exchange_strong(expected, 1);
+      },
+      ThreadPool::kDefaultPriority,
+      [&stage, &done]() {
+        int expected = 1;
+        if (stage.compare_exchange_strong(expected, 2)) done.set_value();
+      });
+  done.get_future().wait();
+  EXPECT_EQ(stage.load(), 2);
+}
+
 // --- Engine -----------------------------------------------------------------
 
 const Rect kWorld({0, 0}, {20000, 20000});
@@ -296,6 +345,176 @@ TEST(EngineTest, SessionsWithDifferentHorizonsFinishIndependently) {
   EXPECT_EQ(engine.session_metrics(0).timestamps, 120u);
   EXPECT_EQ(engine.session_metrics(1).timestamps, 60u);
   EXPECT_EQ(engine.round_stats().rounds, 120u);
+}
+
+// --- Session lifecycle ------------------------------------------------------
+
+TEST(EngineLifecycleTest, RunTwiceIsAHardError) {
+  const World w = MakeWorld(150, 1, 40, 0x2E0);
+  Engine engine(&w.pois, &w.tree, MakeEngineOptions(1, false));
+  engine.AddSession({&w.trajs[0], &w.trajs[1], &w.trajs[2]});
+  engine.Run();
+  EXPECT_THROW(engine.Run(), std::logic_error);
+  EXPECT_THROW(engine.Start(), std::logic_error);
+}
+
+TEST(EngineLifecycleTest, AddSessionAfterRunIsAHardError) {
+  const World w = MakeWorld(150, 2, 40, 0x2E1);
+  Engine engine(&w.pois, &w.tree, MakeEngineOptions(1, false));
+  engine.AddSession({&w.trajs[0], &w.trajs[1], &w.trajs[2]});
+  engine.Run();
+  EXPECT_THROW(engine.AddSession({&w.trajs[3], &w.trajs[4], &w.trajs[5]}),
+               std::logic_error);
+  // Dynamic admission is also off the table once the engine drained.
+  EXPECT_THROW(engine.AdmitSession({&w.trajs[3], &w.trajs[4], &w.trajs[5]}),
+               std::logic_error);
+}
+
+TEST(EngineLifecycleTest, WaitBeforeStartIsAHardError) {
+  const World w = MakeWorld(120, 1, 20, 0x2E2);
+  Engine engine(&w.pois, &w.tree, MakeEngineOptions(1, false));
+  EXPECT_THROW(engine.Wait(), std::logic_error);
+}
+
+TEST(EngineLifecycleTest, ZeroHorizonSessionFinishesWithNoWork) {
+  const World w = MakeWorld(150, 2, 40, 0x2E3);
+  Engine engine(&w.pois, &w.tree, MakeEngineOptions(2, false));
+  SessionTuning zero;
+  zero.retire_at = 0;  // retired before its first timestamp
+  const uint32_t z = engine.AdmitSession(
+      {&w.trajs[0], &w.trajs[1], &w.trajs[2]}, zero);
+  const uint32_t live = engine.AdmitSession(
+      {&w.trajs[3], &w.trajs[4], &w.trajs[5]});
+  engine.Run();
+  EXPECT_EQ(engine.session_metrics(z).timestamps, 0u);
+  EXPECT_EQ(engine.session_metrics(z).updates, 0u);
+  EXPECT_EQ(engine.session_metrics(live).timestamps, 40u);
+  EXPECT_GT(engine.session_metrics(live).updates, 0u);
+}
+
+TEST(EngineLifecycleTest, SingleUserGroupRunsTheProtocol) {
+  const World w = MakeWorld(150, 1, 60, 0x2E4);
+  uint64_t digest1 = 0;
+  for (size_t threads : {1u, 2u, 4u}) {
+    Engine engine(&w.pois, &w.tree, MakeEngineOptions(threads, false));
+    engine.AdmitSession({&w.trajs[0]});
+    engine.Run();
+    const SimMetrics& m = engine.session_metrics(0);
+    EXPECT_EQ(m.timestamps, 60u);
+    EXPECT_GT(m.updates, 0u);
+    // m = 1: one location update + one result message per round, no probes.
+    EXPECT_EQ(m.comm.messages(MessageType::kProbe), 0u);
+    if (threads == 1) {
+      digest1 = engine.ResultDigest();
+    } else {
+      EXPECT_EQ(engine.ResultDigest(), digest1);
+    }
+  }
+}
+
+TEST(EngineLifecycleTest, MidRunAdmissionMatchesUpfrontAdmission) {
+  // Sessions are independent, so admitting them while the engine is
+  // draining must produce exactly the digest of admitting them up front.
+  const World w = MakeWorld(250, 4, 120, 0x2E5);
+  uint64_t upfront = 0;
+  {
+    Engine engine(&w.pois, &w.tree, MakeEngineOptions(2, false));
+    for (size_t g = 0; g < 4; ++g) {
+      engine.AdmitSession({&w.trajs[3 * g], &w.trajs[3 * g + 1],
+                           &w.trajs[3 * g + 2]});
+    }
+    engine.Run();
+    upfront = engine.ResultDigest();
+  }
+  Engine engine(&w.pois, &w.tree, MakeEngineOptions(2, false));
+  Engine::Hold hold = engine.AcquireHold();
+  engine.AdmitSession({&w.trajs[0], &w.trajs[1], &w.trajs[2]});
+  engine.Start();
+  for (size_t g = 1; g < 4; ++g) {
+    engine.AdmitSession({&w.trajs[3 * g], &w.trajs[3 * g + 1],
+                         &w.trajs[3 * g + 2]});
+  }
+  hold.Reset();
+  engine.Wait();
+  EXPECT_EQ(engine.ResultDigest(), upfront);
+}
+
+TEST(EngineLifecycleTest, RetireWhileRecomputingCompletesCleanly) {
+  // A straggler session (every recomputation padded 50x) gets retired
+  // "now" while its recompute jobs are in flight; the engine must drain
+  // without deadlock and the session must keep a consistent prefix.
+  const World w = MakeWorld(200, 2, 150, 0x2E6);
+  Engine engine(&w.pois, &w.tree, MakeEngineOptions(2, false));
+  SessionTuning slow;
+  slow.recompute_cost_factor = 50.0;
+  const uint32_t straggler = engine.AdmitSession(
+      {&w.trajs[0], &w.trajs[1], &w.trajs[2]}, slow);
+  const uint32_t normal = engine.AdmitSession(
+      {&w.trajs[3], &w.trajs[4], &w.trajs[5]});
+  Engine::Hold hold = engine.AcquireHold();
+  engine.Start();
+  engine.RetireSession(straggler);  // asap — lands mid-recompute
+  hold.Reset();
+  engine.Wait();
+  EXPECT_LE(engine.session_metrics(straggler).timestamps, 150u);
+  EXPECT_EQ(engine.session_metrics(normal).timestamps, 150u);
+  EXPECT_GT(engine.session_metrics(normal).updates, 0u);
+}
+
+TEST(EngineLifecycleTest, ChurnDigestBitIdenticalAcrossThreadCounts) {
+  // Admission mid-run plus scheduled retirements (deterministic horizon
+  // truncation) must leave the digest bit-identical across thread counts.
+  const World w = MakeWorld(300, 6, 160, 0x2E7);
+  const auto run = [&w](size_t threads) {
+    Engine engine(&w.pois, &w.tree, MakeEngineOptions(threads, false));
+    Engine::Hold hold = engine.AcquireHold();
+    // Two sessions up front, one of them retiring at t=70.
+    SessionTuning early;
+    early.retire_at = 70;
+    engine.AdmitSession({&w.trajs[0], &w.trajs[1], &w.trajs[2]}, early);
+    engine.AdmitSession({&w.trajs[3], &w.trajs[4], &w.trajs[5]});
+    engine.Start();
+    // Admit the rest while the engine drains; one with a tiny mailbox,
+    // one retiring mid-run, one zero-horizon.
+    SessionTuning tiny_mailbox;
+    tiny_mailbox.mailbox_capacity = 1;
+    engine.AdmitSession({&w.trajs[6], &w.trajs[7], &w.trajs[8]},
+                        tiny_mailbox);
+    SessionTuning mid;
+    mid.retire_at = 40;
+    engine.AdmitSession({&w.trajs[9], &w.trajs[10], &w.trajs[11]}, mid);
+    SessionTuning zero;
+    zero.retire_at = 0;
+    engine.AdmitSession({&w.trajs[12], &w.trajs[13], &w.trajs[14]}, zero);
+    engine.AdmitSession({&w.trajs[15], &w.trajs[16], &w.trajs[17]});
+    hold.Reset();
+    engine.Wait();
+    EXPECT_EQ(engine.session_metrics(0).timestamps, 70u);
+    EXPECT_EQ(engine.session_metrics(3).timestamps, 40u);
+    EXPECT_EQ(engine.session_metrics(4).timestamps, 0u);
+    return engine.ResultDigest();
+  };
+  const uint64_t d1 = run(1);
+  EXPECT_EQ(run(2), d1);
+  EXPECT_EQ(run(4), d1);
+}
+
+TEST(EngineLifecycleTest, BoundedMailboxStallsButStaysDeterministic) {
+  // Capacity 0 disables buffering entirely (the session stalls during
+  // recomputation); results must match the default capacity bit-for-bit.
+  const World w = MakeWorld(200, 2, 100, 0x2E8);
+  uint64_t digests[2];
+  size_t i = 0;
+  for (size_t capacity : {size_t{0}, size_t{16}}) {
+    Engine engine(&w.pois, &w.tree, MakeEngineOptions(2, false));
+    SessionTuning tuning;
+    tuning.mailbox_capacity = capacity;
+    engine.AdmitSession({&w.trajs[0], &w.trajs[1], &w.trajs[2]}, tuning);
+    engine.AdmitSession({&w.trajs[3], &w.trajs[4], &w.trajs[5]}, tuning);
+    engine.Run();
+    digests[i++] = engine.ResultDigest();
+  }
+  EXPECT_EQ(digests[0], digests[1]);
 }
 
 // --- 64-group integration run (labeled `integration` in ctest) --------------
