@@ -16,11 +16,17 @@
 //  3. Churn: half the sessions are admitted mid-run under an admission
 //     hold and a quarter retire at half their horizon; the digest must
 //     not depend on the thread count.
+//  4. Process shards: the same workload on a multi-process ClusterEngine
+//     with 1/2/4 forked workers. The cluster digest must be bit-identical
+//     to the single-process engine over the same groups (the cluster's
+//     determinism guarantee); throughput shows what forked shards buy
+//     once real cores are available (the 1-core dev box shows none).
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "bench_common.h"
+#include "engine/cluster.h"
 #include "engine/engine.h"
 #include "util/stats.h"
 #include "util/thread_pool.h"
@@ -199,6 +205,43 @@ void RunChurnTable(const std::vector<Point>& pois, const RTree& tree,
   table.WriteCsv("fig_engine_scale_churn.csv");
 }
 
+void RunClusterTable(const std::vector<Point>& pois, const RTree& tree,
+                     const std::vector<std::vector<const Trajectory*>>&
+                         groups,
+                     size_t n_groups,
+                     const std::vector<size_t>& shard_counts,
+                     const ServerConfig& server) {
+  // Single-process reference digest (engine destroyed before the first
+  // fork so no thread-pool workers are alive across fork()).
+  uint64_t ref_digest = 0;
+  {
+    const RunResult r = RunEngineOnce(pois, tree, groups, n_groups, 1, false,
+                                      server);
+    ref_digest = r.digest;
+  }
+  Table table({"shards", "groups", "seconds", "rounds/sec", "deterministic"});
+  for (size_t shards : shard_counts) {
+    ClusterOptions opt;
+    opt.workers = shards;
+    opt.engine.threads = 1;
+    opt.engine.sim.server = server;
+    ClusterEngine cluster(&pois, &tree, opt);
+    for (size_t g = 0; g < n_groups; ++g) cluster.AdmitSession(groups[g]);
+    Timer timer;
+    cluster.Run();
+    const double seconds = timer.ElapsedSeconds();
+    const double rounds =
+        static_cast<double>(cluster.TotalMetrics().timestamps);
+    table.AddRow({std::to_string(shards), std::to_string(n_groups),
+                  FormatDouble(seconds, 3),
+                  FormatDouble(seconds > 0.0 ? rounds / seconds : 0.0, 0),
+                  cluster.ResultDigest() == ref_digest ? "yes" : "NO"});
+  }
+  table.Print("Engine scale — process shards (forked workers, groups routed "
+              "by id % shards; digest vs single-process engine)");
+  table.WriteCsv("fig_engine_scale_cluster.csv");
+}
+
 void Run() {
   const BenchEnv env = GetBenchEnv();
 
@@ -240,6 +283,8 @@ void Run() {
                     thread_counts, server);
   RunChurnTable(pois, tree, groups, std::min<size_t>(32, max_groups),
                 timestamps, thread_counts, server);
+  RunClusterTable(pois, tree, groups, std::min<size_t>(16, max_groups),
+                  {1, 2, 4}, server);
 
   // Per-user verification fan-out on one group: same results, candidate
   // scans spread across the pool. Buffered retrieval keeps candidate lists

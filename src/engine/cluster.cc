@@ -1,0 +1,499 @@
+#include "engine/cluster.h"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <deque>
+#include <stdexcept>
+#include <utility>
+
+#include "engine/digest.h"
+#include "util/macros.h"
+
+namespace mpn {
+
+namespace {
+
+/// Cluster protocol frame types (first payload byte). Coordinator ->
+/// worker: kAdmit, kRetire, kDrain, kShutdown. Worker -> coordinator:
+/// kDrainedOk, kShutdownAck, kWorkerError. See docs/ARCHITECTURE.md §5c.
+enum FrameType : uint8_t {
+  kAdmit = 1,
+  kRetire = 2,
+  kDrain = 3,
+  kShutdown = 4,
+  kDrainedOk = 5,
+  kShutdownAck = 6,
+  kWorkerError = 7,
+};
+
+/// Serializes every SimMetrics field the digest and the result accessors
+/// consume. The double (server_seconds) travels as its bit pattern, so the
+/// round-trip is byte-exact.
+void WriteMetrics(WireBuffer* out, const SimMetrics& m) {
+  out->PutU64(m.timestamps);
+  out->PutU64(m.updates);
+  out->PutU64(m.result_changes);
+  for (size_t t = 0; t < kMessageTypeCount; ++t) {
+    const MessageType type = static_cast<MessageType>(t);
+    out->PutU64(m.comm.messages(type));
+    out->PutU64(m.comm.packets(type));
+    out->PutU64(m.comm.values(type));
+  }
+  out->PutDouble(m.server_seconds);
+  out->PutU64(m.msr.tiles_tried);
+  out->PutU64(m.msr.tiles_added);
+  out->PutU64(m.msr.divide_calls);
+  out->PutU64(m.msr.verify.calls);
+  out->PutU64(m.msr.verify.accepted);
+  out->PutU64(m.msr.verify.tile_groups);
+  out->PutU64(m.msr.verify.focal_evals);
+  out->PutU64(m.msr.verify.memo_hits);
+  out->PutU64(m.msr.candidates.retrievals);
+  out->PutU64(m.msr.candidates.candidates_total);
+  out->PutU64(m.msr.candidates.rejected_by_buffer);
+  out->PutU64(m.msr.rtree_node_accesses);
+}
+
+SimMetrics ReadMetrics(WireReader* r) {
+  SimMetrics m;
+  m.timestamps = r->GetU64();
+  m.updates = r->GetU64();
+  m.result_changes = r->GetU64();
+  for (size_t t = 0; t < kMessageTypeCount; ++t) {
+    const MessageType type = static_cast<MessageType>(t);
+    const uint64_t messages = r->GetU64();
+    const uint64_t packets = r->GetU64();
+    const uint64_t values = r->GetU64();
+    m.comm.AddRaw(type, messages, packets, values);
+  }
+  m.server_seconds = r->GetDouble();
+  m.msr.tiles_tried = r->GetU64();
+  m.msr.tiles_added = r->GetU64();
+  m.msr.divide_calls = r->GetU64();
+  m.msr.verify.calls = r->GetU64();
+  m.msr.verify.accepted = r->GetU64();
+  m.msr.verify.tile_groups = r->GetU64();
+  m.msr.verify.focal_evals = r->GetU64();
+  m.msr.verify.memo_hits = r->GetU64();
+  m.msr.candidates.retrievals = r->GetU64();
+  m.msr.candidates.candidates_total = r->GetU64();
+  m.msr.candidates.rejected_by_buffer = r->GetU64();
+  m.msr.rtree_node_accesses = r->GetU64();
+  return m;
+}
+
+/// Worker serving loop: one Engine over this shard's groups, fed by
+/// frames until the coordinator shuts it down or closes the pipe. Runs in
+/// the forked child; must not touch the coordinator's state or stdio.
+int WorkerMain(IpcChannel* ch, const std::vector<Point>* pois,
+               const RTree* tree, const EngineOptions& options) {
+  try {
+    Engine engine(pois, tree, options);
+    engine.Start();
+    // Owned backing store for deserialized trajectories: sessions keep
+    // pointers into it, so entries must never move (deque).
+    std::deque<std::vector<Trajectory>> storage;
+    std::vector<uint32_t> global_ids;
+    std::vector<uint8_t> payload;
+    while (ch->Recv(&payload)) {
+      WireReader r(payload);
+      switch (r.GetU8()) {
+        case kAdmit: {
+          const uint32_t global_id = r.GetU32();
+          SessionTuning tuning;
+          tuning.recompute_cost_factor = r.GetDouble();
+          tuning.retire_at = static_cast<size_t>(r.GetU64());
+          tuning.mailbox_capacity = static_cast<size_t>(r.GetU64());
+          const uint32_t m = r.GetU32();
+          std::vector<Trajectory> trajs(m);
+          for (uint32_t i = 0; i < m; ++i) {
+            const uint32_t n = r.GetU32();
+            trajs[i].positions.resize(n);
+            for (uint32_t j = 0; j < n; ++j) {
+              trajs[i].positions[j].x = r.GetDouble();
+              trajs[i].positions[j].y = r.GetDouble();
+            }
+          }
+          storage.push_back(std::move(trajs));
+          std::vector<const Trajectory*> group;
+          group.reserve(storage.back().size());
+          for (const Trajectory& t : storage.back()) group.push_back(&t);
+          const uint32_t local = engine.AdmitSession(std::move(group), tuning);
+          if (local != global_ids.size()) {
+            throw std::runtime_error("cluster worker: local id out of sync");
+          }
+          global_ids.push_back(global_id);
+          break;
+        }
+        case kRetire: {
+          const uint32_t local = r.GetU32();
+          const uint64_t at = r.GetU64();
+          engine.RetireSession(local, static_cast<size_t>(at));
+          break;
+        }
+        case kDrain: {
+          engine.Wait();
+          WireBuffer out;
+          out.PutU8(kDrainedOk);
+          const size_t sessions = engine.session_count();
+          out.PutU32(static_cast<uint32_t>(sessions));
+          for (uint32_t local = 0; local < sessions; ++local) {
+            out.PutU32(global_ids[local]);
+            WriteMetrics(&out, engine.session_metrics(local));
+            out.PutU8(engine.session_has_result(local) ? 1 : 0);
+            out.PutU32(engine.session_po(local));
+            out.PutU64(engine.session_mailbox_peak(local));
+            out.PutU64(engine.session_stall_count(local));
+          }
+          const std::vector<Scheduler::Slot> slots = engine.timeline_slots();
+          out.PutU32(static_cast<uint32_t>(slots.size()));
+          for (const Scheduler::Slot& slot : slots) {
+            out.PutU64(slot.messages);
+            out.PutU64(slot.recomputes);
+            out.PutDouble(slot.seconds);
+          }
+          if (!ch->Send(out)) return 1;
+          break;
+        }
+        case kShutdown: {
+          engine.Shutdown();
+          WireBuffer out;
+          out.PutU8(kShutdownAck);
+          ch->Send(out);
+          return 0;
+        }
+        default:
+          throw std::runtime_error("cluster worker: unknown frame type");
+      }
+    }
+    return 0;  // coordinator closed the pipe: clean exit
+  } catch (const std::exception& e) {
+    WireBuffer out;
+    out.PutU8(kWorkerError);
+    out.PutString(e.what());
+    ch->Send(out);  // best effort; the exit code says it all otherwise
+    return 1;
+  }
+}
+
+std::string ShardError(size_t shard, const std::string& detail) {
+  return "mpn cluster: worker for shard " + std::to_string(shard) + " " +
+         detail;
+}
+
+}  // namespace
+
+ClusterEngine::ClusterEngine(const std::vector<Point>* pois, const RTree* tree,
+                             const ClusterOptions& options)
+    : pois_(pois), tree_(tree), options_(options) {
+  MPN_ASSERT(pois_ != nullptr && tree_ != nullptr);
+  MPN_ASSERT_MSG(options_.workers >= 1, "cluster needs at least one worker");
+}
+
+ClusterEngine::~ClusterEngine() { TeardownWorkers(/*force=*/false); }
+
+void ClusterEngine::RequireStarted() const {
+  if (!started_) {
+    throw std::logic_error("ClusterEngine: not started (call Start/Run)");
+  }
+}
+
+void ClusterEngine::RequireServing() const {
+  if (stopped_) {
+    throw std::logic_error(
+        "ClusterEngine: AdmitSession/RetireSession after Shutdown");
+  }
+  RequireHealthy();
+}
+
+void ClusterEngine::RequireHealthy() const {
+  if (failed_) {
+    throw std::runtime_error(
+        "ClusterEngine: a worker failed earlier; the cluster is poisoned "
+        "(results of the last successful Wait remain readable)");
+  }
+}
+
+uint32_t ClusterEngine::AdmitSession(
+    const std::vector<const Trajectory*>& group, const SessionTuning& tuning) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RequireServing();
+  MPN_ASSERT(!group.empty());
+  const uint32_t id = next_id_++;
+  const size_t shard = id % options_.workers;
+  WireBuffer frame;
+  frame.PutU8(kAdmit);
+  frame.PutU32(id);
+  frame.PutDouble(tuning.recompute_cost_factor);
+  frame.PutU64(static_cast<uint64_t>(tuning.retire_at));
+  frame.PutU64(static_cast<uint64_t>(tuning.mailbox_capacity));
+  frame.PutU32(static_cast<uint32_t>(group.size()));
+  for (const Trajectory* t : group) {
+    MPN_ASSERT(t != nullptr);
+    frame.PutU32(static_cast<uint32_t>(t->positions.size()));
+    for (const Point& p : t->positions) {
+      frame.PutDouble(p.x);
+      frame.PutDouble(p.y);
+    }
+  }
+  if (!started_) {
+    pending_.emplace_back(shard, std::move(frame));
+  } else {
+    SendOrThrow(shard, frame);
+  }
+  return id;
+}
+
+void ClusterEngine::RetireSession(uint32_t id, size_t at_timestamp) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RequireServing();
+  if (id >= next_id_) {
+    throw std::out_of_range("ClusterEngine::RetireSession: unknown id");
+  }
+  const size_t shard = id % options_.workers;
+  WireBuffer frame;
+  frame.PutU8(kRetire);
+  frame.PutU32(id / static_cast<uint32_t>(options_.workers));
+  frame.PutU64(static_cast<uint64_t>(at_timestamp));
+  if (!started_) {
+    pending_.emplace_back(shard, std::move(frame));
+  } else {
+    SendOrThrow(shard, frame);
+  }
+}
+
+void ClusterEngine::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_) {
+    throw std::logic_error("ClusterEngine::Run/Start may be called once");
+  }
+  started_ = true;
+  workers_.reserve(options_.workers);
+  for (size_t shard = 0; shard < options_.workers; ++shard) {
+    IpcChannel parent_end, child_end;
+    IpcChannel::MakePair(&parent_end, &child_end);
+    const pid_t pid = fork();
+    if (pid < 0) {
+      throw std::runtime_error("mpn cluster: fork failed");
+    }
+    if (pid == 0) {
+      // Worker process. Drop every coordinator-side fd so a dead sibling
+      // (or a closing coordinator) reliably surfaces as EOF, then serve.
+      parent_end.Close();
+      for (Worker& w : workers_) w.channel.Close();
+      const int code =
+          WorkerMain(&child_end, pois_, tree_, options_.engine);
+      child_end.Close();
+      // _Exit: no atexit handlers, no static destructors, no flushing of
+      // stdio buffers inherited from the coordinator.
+      std::_Exit(code);
+    }
+    child_end.Close();
+    Worker w;
+    w.pid = pid;
+    w.channel = std::move(parent_end);
+    workers_.push_back(std::move(w));
+  }
+  for (auto& [shard, frame] : pending_) SendOrThrow(shard, frame);
+  pending_.clear();
+}
+
+void ClusterEngine::Wait() {
+  std::lock_guard<std::mutex> lock(mu_);
+  RequireStarted();
+  RequireHealthy();
+  if (stopped_) return;  // results were frozen by Shutdown
+  WireBuffer drain;
+  drain.PutU8(kDrain);
+  for (size_t shard = 0; shard < workers_.size(); ++shard) {
+    SendOrThrow(shard, drain);
+  }
+
+  std::vector<SessionResult> results(next_id_);
+  std::vector<SlotTotals> slots;
+  for (size_t shard = 0; shard < workers_.size(); ++shard) {
+    const std::vector<uint8_t> payload = RecvOrThrow(shard);
+    WireReader r(payload);
+    if (r.GetU8() != kDrainedOk) {
+      throw std::runtime_error(ShardError(shard, "sent an invalid reply"));
+    }
+    const uint32_t sessions = r.GetU32();
+    for (uint32_t local = 0; local < sessions; ++local) {
+      const uint32_t global_id = r.GetU32();
+      const uint32_t expected =
+          static_cast<uint32_t>(shard) +
+          local * static_cast<uint32_t>(options_.workers);
+      if (global_id != expected || global_id >= results.size()) {
+        throw std::runtime_error(ShardError(shard, "routed ids out of sync"));
+      }
+      SessionResult& res = results[global_id];
+      res.metrics = ReadMetrics(&r);
+      res.has_result = r.GetU8() != 0;
+      res.po = r.GetU32();
+      res.mailbox_peak = r.GetU64();
+      res.stalls = r.GetU64();
+    }
+    const uint32_t slot_count = r.GetU32();
+    if (slots.size() < slot_count) slots.resize(slot_count);
+    for (uint32_t t = 0; t < slot_count; ++t) {
+      slots[t].messages += r.GetU64();
+      slots[t].recomputes += r.GetU64();
+      slots[t].seconds += r.GetDouble();
+    }
+  }
+  results_ = std::move(results);
+
+  // Fold exactly like Engine::RebuildRoundStats: slot totals in timestamp
+  // order (bit-identical counter sequences for any worker count), then the
+  // per-session mailbox marks in global session order.
+  EngineRoundStats stats;
+  for (const SlotTotals& slot : slots) {
+    stats.messages_per_round.Add(static_cast<double>(slot.messages));
+    stats.recomputes_per_round.Add(static_cast<double>(slot.recomputes));
+    stats.round_seconds.Add(slot.seconds);
+    ++stats.rounds;
+  }
+  for (const SessionResult& res : results_) {
+    stats.mailbox_peak_per_session.Add(static_cast<double>(res.mailbox_peak));
+    stats.mailbox_stalls_per_session.Add(static_cast<double>(res.stalls));
+  }
+  round_stats_ = stats;
+}
+
+void ClusterEngine::Shutdown() {
+  Wait();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopped_) return;
+  stopped_ = true;
+  WireBuffer bye;
+  bye.PutU8(kShutdown);
+  for (size_t shard = 0; shard < workers_.size(); ++shard) {
+    SendOrThrow(shard, bye);
+  }
+  for (size_t shard = 0; shard < workers_.size(); ++shard) {
+    const std::vector<uint8_t> payload = RecvOrThrow(shard);
+    WireReader r(payload);
+    if (r.GetU8() != kShutdownAck) {
+      throw std::runtime_error(ShardError(shard, "sent an invalid reply"));
+    }
+    workers_[shard].channel.Close();
+    Reap(shard);
+  }
+}
+
+void ClusterEngine::Run() {
+  Start();
+  Shutdown();
+}
+
+const ClusterEngine::SessionResult& ClusterEngine::ResultChecked(
+    uint32_t id) const {
+  if (id >= results_.size()) {
+    throw std::out_of_range(
+        "ClusterEngine: unknown session id (results are valid after Wait)");
+  }
+  return results_[id];
+}
+
+const SimMetrics& ClusterEngine::session_metrics(uint32_t id) const {
+  return ResultChecked(id).metrics;
+}
+
+uint32_t ClusterEngine::session_po(uint32_t id) const {
+  return ResultChecked(id).po;
+}
+
+bool ClusterEngine::session_has_result(uint32_t id) const {
+  return ResultChecked(id).has_result;
+}
+
+size_t ClusterEngine::session_mailbox_peak(uint32_t id) const {
+  return static_cast<size_t>(ResultChecked(id).mailbox_peak);
+}
+
+size_t ClusterEngine::session_stall_count(uint32_t id) const {
+  return static_cast<size_t>(ResultChecked(id).stalls);
+}
+
+SimMetrics ClusterEngine::TotalMetrics() const {
+  SimMetrics total;
+  for (const SessionResult& res : results_) total.Merge(res.metrics);
+  return total;
+}
+
+uint64_t ClusterEngine::ResultDigest() const {
+  Fnv1a fnv;
+  for (const SessionResult& res : results_) {
+    AddSessionResultToDigest(&fnv, res.metrics, res.has_result, res.po);
+  }
+  return fnv.hash;
+}
+
+void ClusterEngine::KillWorkerForTest(size_t shard) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RequireStarted();
+  MPN_ASSERT(shard < workers_.size());
+  if (!workers_[shard].reaped && workers_[shard].pid > 0) {
+    kill(workers_[shard].pid, SIGKILL);
+  }
+}
+
+void ClusterEngine::SendOrThrow(size_t shard, const WireBuffer& frame) {
+  if (!workers_[shard].channel.Send(frame)) {
+    failed_ = true;  // replies may now be out of phase: poison the cluster
+    Reap(shard);
+    throw std::runtime_error(
+        ShardError(shard, "exited unexpectedly (send failed)"));
+  }
+}
+
+std::vector<uint8_t> ClusterEngine::RecvOrThrow(size_t shard) {
+  std::vector<uint8_t> payload;
+  if (!workers_[shard].channel.Recv(&payload)) {
+    failed_ = true;
+    Reap(shard);
+    throw std::runtime_error(
+        ShardError(shard, "exited unexpectedly (connection closed)"));
+  }
+  if (!payload.empty() && payload[0] == kWorkerError) {
+    WireReader r(payload);
+    r.GetU8();
+    const std::string what = r.GetString();
+    failed_ = true;
+    Reap(shard);
+    throw std::runtime_error(ShardError(shard, "failed: " + what));
+  }
+  return payload;
+}
+
+void ClusterEngine::Reap(size_t shard) {
+  Worker& w = workers_[shard];
+  if (w.reaped || w.pid <= 0) return;
+  int status = 0;
+  for (;;) {
+    const pid_t r = waitpid(w.pid, &status, 0);
+    if (r == w.pid) break;
+    if (r < 0 && errno == EINTR) continue;  // interrupted: retry
+    break;  // ECHILD: collected elsewhere (or pid gone) — nothing to do
+  }
+  w.reaped = true;
+}
+
+void ClusterEngine::TeardownWorkers(bool force) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Worker& w : workers_) {
+    if (!w.reaped && w.pid > 0 && force) kill(w.pid, SIGKILL);
+    // Closing the channel makes a live worker's Recv return EOF, which
+    // ends its serving loop — the blocking reap below cannot hang.
+    w.channel.Close();
+  }
+  for (size_t shard = 0; shard < workers_.size(); ++shard) {
+    Reap(shard);
+  }
+}
+
+}  // namespace mpn

@@ -1,0 +1,191 @@
+// Multi-process engine sharding: a ClusterEngine forks N worker processes,
+// each running an Engine (engine/engine.h) over its shard of groups, with
+// admissions and retirements routed by group_id % N over length-prefixed
+// binary frames on socketpair(2) pipes (engine/ipc.h). No network is
+// involved: the coordinator forks after the immutable world (POIs, R-tree)
+// is built, so workers share it copy-on-write; only per-group data
+// (trajectories, tuning) and results cross the process boundary.
+//
+// Ids and routing: the coordinator assigns dense global session ids in
+// admission order; id g lives on worker g % N as that worker's local
+// session g / N (per-pipe FIFO keeps per-worker admission order equal to
+// global order restricted to the shard). When a drain completes, each
+// worker ships every session's deterministic result fields plus its
+// per-timestamp slot totals; the coordinator reassembles the per-session
+// stream in global id order and feeds it through the same digest code the
+// single-process engine uses (engine/digest.h) — so ResultDigest() is
+// bit-identical to one Engine over the same groups, for any worker count
+// and any admission interleaving. Round-stat counters re-aggregate with
+// the same commutative per-timestamp sums and are bit-identical too;
+// wall-clock columns (seconds, mailbox marks) are machine-dependent as
+// always.
+//
+// Serving loop: workers run Engine::Start immediately and then serve
+// frames forever — admit, retire, drain (Engine::Wait + result snapshot),
+// shutdown — so a cluster supports repeated AdmitSession/Wait() cycles
+// exactly like the single-process serving loop.
+//
+// Robustness: a worker that exits mid-run closes its socketpair end, so
+// the coordinator's next Send/Recv fails instead of hanging — Wait() then
+// throws std::runtime_error naming the failing shard. Double Start() and
+// AdmitSession after Shutdown() are hard std::logic_errors. See
+// docs/ARCHITECTURE.md §5c for the protocol.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engine/engine.h"
+#include "engine/ipc.h"
+
+namespace mpn {
+
+/// Cluster configuration.
+struct ClusterOptions {
+  /// Worker processes (shards). Groups are routed by group_id % workers.
+  size_t workers = 2;
+  /// Per-worker engine configuration (thread pool size, sim options, ...).
+  EngineOptions engine;
+};
+
+/// Coordinator of a multi-process engine cluster. Mirrors the Engine
+/// lifecycle API; calls are serialized internally — the concurrency lives
+/// in the worker processes. A transport failure (e.g. a worker death
+/// surfaced by a throwing Wait) latches the cluster as failed: further
+/// admits/drains throw instead of risking out-of-phase replies, and the
+/// result accessors keep returning the last successful drain's snapshot.
+class ClusterEngine {
+ public:
+  /// `pois` and `tree` must be fully built before Start() forks the
+  /// workers and must outlive the cluster (workers inherit them
+  /// copy-on-write).
+  ClusterEngine(const std::vector<Point>* pois, const RTree* tree,
+                const ClusterOptions& options);
+  ~ClusterEngine();
+
+  ClusterEngine(const ClusterEngine&) = delete;
+  ClusterEngine& operator=(const ClusterEngine&) = delete;
+
+  /// Registers one group; returns its global session id (dense, in
+  /// admission order). The trajectories are serialized into the admit
+  /// frame, so they only need to stay alive for the duration of the call.
+  /// Throws std::logic_error after Shutdown().
+  uint32_t AdmitSession(const std::vector<const Trajectory*>& group,
+                        const SessionTuning& tuning = SessionTuning());
+
+  /// Deterministically truncates session `id`'s horizon at `at_timestamp`
+  /// (see Engine::RetireSession; Engine::kRetireNow asks for the next
+  /// event boundary instead, which is wall-clock dependent).
+  void RetireSession(uint32_t id, size_t at_timestamp = Engine::kRetireNow);
+
+  /// Forks the worker processes (each starts its engine immediately) and
+  /// flushes admissions queued before Start. Throws std::logic_error when
+  /// called twice.
+  void Start();
+
+  /// Serving-loop drain: asks every worker to drain (Engine::Wait) and
+  /// collects their result snapshots. Valid results afterwards; more
+  /// admissions may follow. Throws std::runtime_error naming the shard
+  /// when a worker exited instead of draining (which latches the cluster
+  /// as failed — see RequireHealthy); std::logic_error before Start.
+  void Wait();
+
+  /// Wait() + stop the workers (graceful shutdown frames, then reap).
+  /// AdmitSession afterwards is a hard std::logic_error. Idempotent.
+  void Shutdown();
+
+  /// Start() + Shutdown() — one-shot drain over the queued admissions.
+  void Run();
+
+  size_t worker_count() const { return options_.workers; }
+  size_t session_count() const { return next_id_; }
+
+  /// Per-session results (valid after Wait), indexed by global id.
+  const SimMetrics& session_metrics(uint32_t id) const;
+  uint32_t session_po(uint32_t id) const;
+  bool session_has_result(uint32_t id) const;
+  size_t session_mailbox_peak(uint32_t id) const;
+  size_t session_stall_count(uint32_t id) const;
+
+  /// Merged metrics across all sessions (valid after Wait).
+  SimMetrics TotalMetrics() const;
+
+  /// Cluster-level per-timestamp aggregates (valid after Wait): worker
+  /// slot totals summed per timestamp, then folded exactly like the
+  /// single-process engine folds its own slots.
+  const EngineRoundStats& round_stats() const { return round_stats_; }
+
+  /// Bit-identical to Engine::ResultDigest() over the same groups in the
+  /// same admission order, for any worker count (valid after Wait).
+  uint64_t ResultDigest() const;
+
+  /// Test hook: SIGKILLs shard's worker process so the robustness paths
+  /// (Send failure, EOF instead of a drain reply) can be exercised.
+  void KillWorkerForTest(size_t shard);
+
+ private:
+  struct Worker {
+    pid_t pid = -1;
+    IpcChannel channel;
+    bool reaped = false;
+  };
+
+  /// One session's deterministic result fields plus observability marks,
+  /// as shipped by its worker.
+  struct SessionResult {
+    SimMetrics metrics;
+    bool has_result = false;
+    uint32_t po = 0;
+    uint64_t mailbox_peak = 0;
+    uint64_t stalls = 0;
+  };
+
+  /// Cluster-level per-timestamp totals (mirrors Scheduler::Slot).
+  struct SlotTotals {
+    uint64_t messages = 0;
+    uint64_t recomputes = 0;
+    double seconds = 0.0;
+  };
+
+  void RequireStarted() const;
+  void RequireServing() const;
+  /// A transport failure (dead or misbehaving worker) poisons the
+  /// cluster: replies may be out of phase with requests, so refreshed
+  /// results could silently be wrong. Every subsequent admit/retire/
+  /// drain throws; results from the last *successful* Wait stay
+  /// readable.
+  void RequireHealthy() const;
+  const SessionResult& ResultChecked(uint32_t id) const;
+  /// Sends `frame` to `shard`, throwing std::runtime_error naming the
+  /// shard when the worker is gone.
+  void SendOrThrow(size_t shard, const WireBuffer& frame);
+  /// Receives one frame from `shard`; throws on EOF or a kWorkerError
+  /// reply, naming the shard (and quoting the worker's error).
+  std::vector<uint8_t> RecvOrThrow(size_t shard);
+  /// Reaps shard's process if still outstanding (blocking, EINTR-safe).
+  void Reap(size_t shard);
+  /// Closes every channel and reaps every worker; SIGKILLs on `force`.
+  void TeardownWorkers(bool force);
+
+  const std::vector<Point>* pois_;
+  const RTree* tree_;
+  ClusterOptions options_;
+  mutable std::mutex mu_;
+  bool started_ = false;
+  bool stopped_ = false;
+  bool failed_ = false;  ///< transport failure latch (see RequireHealthy)
+  uint32_t next_id_ = 0;
+  std::vector<Worker> workers_;
+  /// (shard, frame) admissions/retirements queued before Start, flushed in
+  /// order right after the fork.
+  std::vector<std::pair<size_t, WireBuffer>> pending_;
+  std::vector<SessionResult> results_;
+  EngineRoundStats round_stats_;
+};
+
+}  // namespace mpn

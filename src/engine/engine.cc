@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "engine/digest.h"
 #include "util/macros.h"
 
 namespace mpn {
@@ -33,6 +34,8 @@ Table EngineRoundStats::ToTable() const {
   row("messages/round", messages_per_round);
   row("recomputes/round", recomputes_per_round);
   row("seconds/round", round_seconds);
+  row("mailbox_peak/session", mailbox_peak_per_session);
+  row("mailbox_stalls/session", mailbox_stalls_per_session);
   return table;
 }
 
@@ -66,7 +69,7 @@ uint32_t Engine::AdmitSession(std::vector<const Trajectory*> group,
                               const SessionTuning& tuning) {
   if (stopped_.load(std::memory_order_acquire)) {
     throw std::logic_error(
-        "Engine::AdmitSession on a finished engine (Run/Wait already "
+        "Engine::AdmitSession on a finished engine (Run/Shutdown already "
         "returned)");
   }
   SimOptions session_options = options_.sim;
@@ -111,19 +114,41 @@ void Engine::Wait() {
     throw std::logic_error("Engine::Wait before Run/Start");
   }
   scheduler_->WaitIdle();
-  if (stopped_.exchange(true, std::memory_order_acq_rel)) return;
-  for (const Scheduler::Slot& slot : scheduler_->slots()) {
-    round_stats_.messages_per_round.Add(static_cast<double>(slot.messages));
-    round_stats_.recomputes_per_round.Add(
-        static_cast<double>(slot.recomputes));
-    round_stats_.round_seconds.Add(slot.seconds);
-    ++round_stats_.rounds;
-  }
+  RebuildRoundStats();
+}
+
+void Engine::Shutdown() {
+  Wait();
+  stopped_.store(true, std::memory_order_release);
 }
 
 void Engine::Run() {
   Start();
-  Wait();
+  Shutdown();
+}
+
+void Engine::RebuildRoundStats() {
+  EngineRoundStats stats;
+  for (const Scheduler::Slot& slot : scheduler_->SnapshotSlots()) {
+    stats.messages_per_round.Add(static_cast<double>(slot.messages));
+    stats.recomputes_per_round.Add(static_cast<double>(slot.recomputes));
+    stats.round_seconds.Add(slot.seconds);
+    ++stats.rounds;
+  }
+  table_->ForEachOrdered([&stats](SessionRecord* r) {
+    // Sessions admitted concurrently with this Wait (no hold held) may
+    // still be running; fold only finalized ones — their mailbox fields
+    // are no longer written, so the read is race-free.
+    {
+      std::lock_guard<std::mutex> lock(r->mu);
+      if (!r->finalized) return;
+    }
+    stats.mailbox_peak_per_session.Add(
+        static_cast<double>(r->session->mailbox_peak()));
+    stats.mailbox_stalls_per_session.Add(
+        static_cast<double>(r->session->stall_count()));
+  });
+  round_stats_ = stats;
 }
 
 SimMetrics Engine::TotalMetrics() const {
@@ -134,48 +159,12 @@ SimMetrics Engine::TotalMetrics() const {
   return total;
 }
 
-namespace {
-
-/// FNV-1a over a stream of 64-bit words.
-struct Fnv1a {
-  uint64_t hash = 1469598103934665603ULL;
-  void Add(uint64_t word) {
-    for (int i = 0; i < 8; ++i) {
-      hash ^= (word >> (8 * i)) & 0xFF;
-      hash *= 1099511628211ULL;
-    }
-  }
-};
-
-}  // namespace
-
 uint64_t Engine::ResultDigest() const {
   Fnv1a fnv;
   table_->ForEachOrdered([&fnv](SessionRecord* r) {
     const GroupSession& s = *r->session;
-    const SimMetrics& m = s.metrics();
-    fnv.Add(m.timestamps);
-    fnv.Add(m.updates);
-    fnv.Add(m.result_changes);
-    fnv.Add(s.has_result() ? 1 + static_cast<uint64_t>(s.current_po()) : 0);
-    for (size_t t = 0; t < kMessageTypeCount; ++t) {
-      const MessageType type = static_cast<MessageType>(t);
-      fnv.Add(m.comm.messages(type));
-      fnv.Add(m.comm.packets(type));
-      fnv.Add(m.comm.values(type));
-    }
-    fnv.Add(m.msr.tiles_tried);
-    fnv.Add(m.msr.tiles_added);
-    fnv.Add(m.msr.divide_calls);
-    fnv.Add(m.msr.verify.calls);
-    fnv.Add(m.msr.verify.accepted);
-    fnv.Add(m.msr.verify.tile_groups);
-    fnv.Add(m.msr.verify.focal_evals);
-    fnv.Add(m.msr.verify.memo_hits);
-    fnv.Add(m.msr.candidates.retrievals);
-    fnv.Add(m.msr.candidates.candidates_total);
-    fnv.Add(m.msr.candidates.rejected_by_buffer);
-    fnv.Add(m.msr.rtree_node_accesses);
+    AddSessionResultToDigest(&fnv, s.metrics(), s.has_result(),
+                             s.current_po());
   });
   return fnv.hash;
 }

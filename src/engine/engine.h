@@ -11,6 +11,12 @@
 // AdmitSession / RetireSession are callable from any thread while the
 // engine drains, and only ever touch one shard of the session table.
 //
+// Since the cluster layer landed (engine/cluster.h) the engine is a
+// persistent server: Wait() drains the sessions admitted so far but keeps
+// the engine serving, so admit/Wait cycles can repeat indefinitely (the
+// worker serving loop); Shutdown() ends the engine's life explicitly and
+// Run() keeps the legacy one-shot drain semantics (Start + Shutdown).
+//
 // Determinism: sessions share only immutable data (POIs, R-tree), every
 // session phase except the recomputation job is serialized per session,
 // and the per-session logical step order is independent of wall-clock
@@ -64,6 +70,12 @@ struct EngineRoundStats {
   RunningStat recomputes_per_round;    ///< safe-region recomputations
   RunningStat round_seconds;           ///< processing seconds per timestamp
   size_t rounds = 0;                   ///< timestamp slots processed
+  /// Mailbox high-water marks, one observation per session: the highest
+  /// occupancy each session's mailbox reached, and how often a
+  /// recomputation flight saturated it (stalling the session's clock).
+  /// Wall-clock dependent — excluded from ResultDigest().
+  RunningStat mailbox_peak_per_session;
+  RunningStat mailbox_stalls_per_session;
 
   /// Renders the aggregates as a util/table (one row per metric).
   Table ToTable() const;
@@ -139,11 +151,20 @@ class Engine {
   /// std::logic_error when called twice.
   void Start();
 
-  /// Blocks until every session finished and no admission hold is
-  /// outstanding, then freezes the round stats.
+  /// Serving-loop drain: blocks until every session admitted so far has
+  /// finished and no admission hold is outstanding, then refreshes the
+  /// round stats. The engine keeps serving — new sessions may be admitted
+  /// after Wait() returns and drained by another Wait(), so a worker built
+  /// on the engine is a long-lived server rather than a one-shot drain.
+  /// Results (digest, metrics, stats) are valid after every Wait().
   void Wait();
 
-  /// Start() + Wait(). Throws std::logic_error when called twice.
+  /// Wait() + permanently stop serving: AdmitSession afterwards is a hard
+  /// std::logic_error. Idempotent.
+  void Shutdown();
+
+  /// Start() + Shutdown() — the legacy one-shot drain. Throws
+  /// std::logic_error when called twice.
   void Run();
 
   /// Keeps Run()/Wait() from returning while the caller still plans
@@ -161,6 +182,21 @@ class Engine {
     return FindChecked(id)->session->current_po();
   }
 
+  /// True once session `id` received its first meeting point (false for
+  /// sessions retired before their first update).
+  bool session_has_result(uint32_t id) const {
+    return FindChecked(id)->session->has_result();
+  }
+
+  /// Mailbox high-water mark / stall count of session `id` (see
+  /// GroupSession::mailbox_peak / stall_count).
+  size_t session_mailbox_peak(uint32_t id) const {
+    return FindChecked(id)->session->mailbox_peak();
+  }
+  size_t session_stall_count(uint32_t id) const {
+    return FindChecked(id)->session->stall_count();
+  }
+
   /// Wall-clock completion stamps of session `id`'s advances (seconds
   /// since Start); consecutive gaps are the per-session round latencies.
   const std::vector<double>& session_advance_seconds(uint32_t id) const {
@@ -170,8 +206,16 @@ class Engine {
   /// Merged metrics across all sessions (valid after Wait).
   SimMetrics TotalMetrics() const;
 
-  /// Per-timestamp aggregates (valid after Wait).
+  /// Per-timestamp aggregates (valid after Wait; refreshed by every Wait).
   const EngineRoundStats& round_stats() const { return round_stats_; }
+
+  /// Raw per-timestamp slot totals (valid after Wait; copied under the
+  /// scheduler's stats lock). Exposed so the cluster layer can serialize
+  /// a worker's timeline and re-aggregate it coordinator-side with the
+  /// same commutative per-slot sums.
+  std::vector<Scheduler::Slot> timeline_slots() const {
+    return scheduler_->SnapshotSlots();
+  }
 
   /// FNV-1a hash over every deterministic per-session result field
   /// (protocol counters, algorithm counters, final meeting point) in
@@ -183,6 +227,9 @@ class Engine {
   class PoolExecutor;  // VerifyExecutor adapter over the thread pool
 
   SessionRecord* FindChecked(uint32_t id) const;
+  /// Rebuilds round_stats_ from the scheduler slots and session mailbox
+  /// counters. Called after every drain (idle engine, all sessions final).
+  void RebuildRoundStats();
 
   const std::vector<Point>* pois_;
   const RTree* tree_;

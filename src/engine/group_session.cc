@@ -112,6 +112,8 @@ void GroupSession::BufferAdvance() {
   AdvanceClients(t);
   mailbox_.emplace_back();
   CaptureSnapshot(t, &mailbox_.back());
+  mailbox_peak_ = std::max(mailbox_peak_, mailbox_.size());
+  if (mailbox_.size() >= tuning_.mailbox_capacity) flight_saturated_ = true;
   seconds_at_[t] += timer.ElapsedSeconds();
 }
 
@@ -153,6 +155,15 @@ GroupSession::RecomputeOutcome GroupSession::Recompute(const Snapshot& snap) {
 
 void GroupSession::InstallResult(RecomputeOutcome outcome) {
   Timer timer;
+  // A capacity-0 mailbox cannot buffer at all: every recomputation with
+  // timestamps still ahead stalled the clock (deterministically). For
+  // capacity >= 1 the stall was flagged by the BufferAdvance that filled
+  // the mailbox while this result was in flight.
+  if (flight_saturated_ ||
+      (tuning_.mailbox_capacity == 0 && !AdvancesExhausted())) {
+    ++stall_count_;
+  }
+  flight_saturated_ = false;
   const size_t m = clients_.size();
   MsrResult& result = outcome.result;
   if (!has_result_ || result.po_id != current_po_) {

@@ -176,6 +176,18 @@ class GroupSession {
   /// True after the first update round.
   bool has_result() const { return has_result_; }
 
+  /// Highest mailbox occupancy the session ever reached. Wall-clock
+  /// dependent (how many updates land during a recomputation depends on
+  /// its latency), so it is observability only and excluded from digests.
+  size_t mailbox_peak() const { return mailbox_peak_; }
+
+  /// Times a recomputation flight saturated the mailbox — further location
+  /// updates had to stall the session's virtual clock until the fresh
+  /// regions arrived. With mailbox_capacity == 0 every non-final
+  /// recomputation stalls (deterministically); for capacity >= 1 the count
+  /// is wall-clock dependent. Observability only, excluded from digests.
+  size_t stall_count() const { return stall_count_; }
+
   // --- per-timestamp traces (engine round stats + latency percentiles) ---
 
   /// Protocol messages attributed to timestamp t (step 1/2 at the
@@ -216,6 +228,11 @@ class GroupSession {
   size_t next_t_ = 0;
   std::atomic<size_t> retire_at_{std::numeric_limits<size_t>::max()};
   std::deque<Snapshot> mailbox_;
+  size_t mailbox_peak_ = 0;
+  size_t stall_count_ = 0;
+  /// The in-flight recomputation filled the mailbox; counted as one stall
+  /// when its result installs.
+  bool flight_saturated_ = false;
   bool has_result_ = false;
   uint32_t current_po_ = 0;
 

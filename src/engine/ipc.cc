@@ -1,0 +1,183 @@
+#include "engine/ipc.h"
+
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace mpn {
+
+namespace {
+
+/// Frames above this are a protocol bug or a corrupted length prefix, not
+/// a legitimate payload (the largest real frame — a drained worker's
+/// result snapshot — is a few MB at most).
+constexpr uint32_t kMaxFrameBytes = 256u * 1024u * 1024u;
+
+[[noreturn]] void ThrowErrno(const char* what) {
+  throw std::runtime_error(std::string("mpn ipc: ") + what + ": " +
+                           std::strerror(errno));
+}
+
+}  // namespace
+
+void WireBuffer::PutU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) data_.push_back((v >> (8 * i)) & 0xFF);
+}
+
+void WireBuffer::PutU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) data_.push_back((v >> (8 * i)) & 0xFF);
+}
+
+void WireBuffer::PutDouble(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void WireBuffer::PutString(const std::string& s) {
+  PutU32(static_cast<uint32_t>(s.size()));
+  data_.insert(data_.end(), s.begin(), s.end());
+}
+
+void WireReader::Need(size_t n) const {
+  if (size_ - off_ < n) {
+    throw std::runtime_error("mpn ipc: truncated frame payload");
+  }
+}
+
+uint8_t WireReader::GetU8() {
+  Need(1);
+  return data_[off_++];
+}
+
+uint32_t WireReader::GetU32() {
+  Need(4);
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(data_[off_++]) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t WireReader::GetU64() {
+  Need(8);
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(data_[off_++]) << (8 * i);
+  }
+  return v;
+}
+
+double WireReader::GetDouble() {
+  const uint64_t bits = GetU64();
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string WireReader::GetString() {
+  const uint32_t n = GetU32();
+  Need(n);
+  std::string s(reinterpret_cast<const char*>(data_ + off_), n);
+  off_ += n;
+  return s;
+}
+
+IpcChannel& IpcChannel::operator=(IpcChannel&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void IpcChannel::MakePair(IpcChannel* a, IpcChannel* b) {
+  int fds[2];
+  if (socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    ThrowErrno("socketpair");
+  }
+  *a = IpcChannel(fds[0]);
+  *b = IpcChannel(fds[1]);
+}
+
+void IpcChannel::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool IpcChannel::Send(const WireBuffer& frame) {
+  if (fd_ < 0) return false;
+  if (frame.size() > kMaxFrameBytes) {
+    // Mirror the receive-side limit at the sender: an oversized frame is
+    // a protocol bug and must fail here, not desync the peer's stream
+    // (the 32-bit length prefix would silently truncate past 4 GiB).
+    throw std::runtime_error("mpn ipc: frame length exceeds limit");
+  }
+  uint8_t header[4];
+  const uint32_t len = static_cast<uint32_t>(frame.size());
+  for (int i = 0; i < 4; ++i) header[i] = (len >> (8 * i)) & 0xFF;
+
+  const auto send_all = [this](const uint8_t* p, size_t n) {
+    while (n > 0) {
+      // MSG_NOSIGNAL: a dead peer must surface as EPIPE, not SIGPIPE.
+      const ssize_t w = ::send(fd_, p, n, MSG_NOSIGNAL);
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EPIPE || errno == ECONNRESET) return false;
+        ThrowErrno("send");
+      }
+      p += w;
+      n -= static_cast<size_t>(w);
+    }
+    return true;
+  };
+  if (!send_all(header, sizeof(header))) return false;
+  return send_all(frame.data().data(), frame.size());
+}
+
+bool IpcChannel::Recv(std::vector<uint8_t>* payload) {
+  if (fd_ < 0) return false;
+  const auto recv_all = [this](uint8_t* p, size_t n) -> int {
+    size_t got = 0;
+    while (got < n) {
+      const ssize_t r = ::recv(fd_, p + got, n - got, 0);
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        if (errno == ECONNRESET) return 0;  // peer died: treat as EOF
+        ThrowErrno("recv");
+      }
+      if (r == 0) {
+        // Clean EOF only between frames; inside one it is truncation.
+        if (got == 0) return 0;
+        throw std::runtime_error("mpn ipc: peer closed mid-frame");
+      }
+      got += static_cast<size_t>(r);
+    }
+    return 1;
+  };
+
+  uint8_t header[4];
+  if (recv_all(header, sizeof(header)) == 0) return false;
+  uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<uint32_t>(header[i]) << (8 * i);
+  }
+  if (len > kMaxFrameBytes) {
+    throw std::runtime_error("mpn ipc: frame length exceeds limit");
+  }
+  payload->resize(len);
+  if (len > 0 && recv_all(payload->data(), len) == 0) {
+    throw std::runtime_error("mpn ipc: peer closed mid-frame");
+  }
+  return true;
+}
+
+}  // namespace mpn

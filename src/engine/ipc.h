@@ -1,0 +1,101 @@
+// Length-prefixed binary framing over socketpair(2) pipes — the transport
+// of the multi-process cluster layer (engine/cluster.h).
+//
+// The cluster needs no network: the coordinator forks its workers, so a
+// pair of connected AF_UNIX stream sockets per worker is enough, and the
+// kernel gives us exactly the failure signal the robustness story needs —
+// when a worker dies, its end of the pair closes and the coordinator's
+// next Recv returns EOF (and Send fails) instead of hanging.
+//
+// Wire format: every frame is a 32-bit little-endian payload length
+// followed by the payload bytes. Payloads are built with WireBuffer and
+// decoded with WireReader: fixed little-endian integers, doubles as their
+// IEEE-754 bit pattern — byte-exact round-trips, which the cluster's
+// bit-identical digest aggregation depends on. WireReader throws
+// std::runtime_error on a truncated or oversized frame; a malformed peer
+// is an error, never undefined behaviour.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mpn {
+
+/// Serialization buffer for one frame payload.
+class WireBuffer {
+ public:
+  void PutU8(uint8_t v) { data_.push_back(v); }
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  /// IEEE-754 bit pattern via the u64 path: byte-exact round-trip.
+  void PutDouble(double v);
+  void PutString(const std::string& s);
+
+  const std::vector<uint8_t>& data() const { return data_; }
+  size_t size() const { return data_.size(); }
+
+ private:
+  std::vector<uint8_t> data_;
+};
+
+/// Bounds-checked decoder over a received payload. Get* throw
+/// std::runtime_error past the end (malformed frame).
+class WireReader {
+ public:
+  explicit WireReader(const std::vector<uint8_t>& payload)
+      : data_(payload.data()), size_(payload.size()) {}
+
+  uint8_t GetU8();
+  uint32_t GetU32();
+  uint64_t GetU64();
+  double GetDouble();
+  std::string GetString();
+
+  bool AtEnd() const { return off_ == size_; }
+
+ private:
+  void Need(size_t n) const;
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t off_ = 0;
+};
+
+/// One endpoint of a socketpair, speaking length-prefixed frames. Owns the
+/// file descriptor.
+class IpcChannel {
+ public:
+  IpcChannel() = default;
+  /// Takes ownership of `fd`.
+  explicit IpcChannel(int fd) : fd_(fd) {}
+  ~IpcChannel() { Close(); }
+
+  IpcChannel(const IpcChannel&) = delete;
+  IpcChannel& operator=(const IpcChannel&) = delete;
+  IpcChannel(IpcChannel&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  IpcChannel& operator=(IpcChannel&& other) noexcept;
+
+  /// Creates a connected AF_UNIX stream socket pair. Throws
+  /// std::runtime_error when socketpair(2) fails.
+  static void MakePair(IpcChannel* a, IpcChannel* b);
+
+  bool valid() const { return fd_ >= 0; }
+  void Close();
+
+  /// Sends one frame. Returns false when the peer is gone (EPIPE /
+  /// connection reset / closed channel) — never raises SIGPIPE. Throws
+  /// std::runtime_error on unexpected socket errors.
+  bool Send(const WireBuffer& frame);
+
+  /// Receives one frame into `payload`. Returns false on EOF (peer exited
+  /// or closed). Throws std::runtime_error on unexpected socket errors or
+  /// a malformed length prefix.
+  bool Recv(std::vector<uint8_t>* payload);
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace mpn

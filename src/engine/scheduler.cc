@@ -45,6 +45,11 @@ void Scheduler::Release() {
   if (--holds_ == 0 && outstanding_ == 0) idle_cv_.notify_all();
 }
 
+std::vector<Scheduler::Slot> Scheduler::SnapshotSlots() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return slots_;
+}
+
 void Scheduler::AddOutstanding() {
   std::lock_guard<std::mutex> lock(idle_mu_);
   ++outstanding_;

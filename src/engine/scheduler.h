@@ -69,15 +69,17 @@ class Scheduler {
   void Hold();
   void Release();
 
-  /// Per-timestamp aggregates across all finalized sessions. Valid after
-  /// WaitIdle.
+  /// Per-timestamp aggregates across all finalized sessions.
   struct Slot {
     size_t messages = 0;    ///< protocol messages attributed to this ts
     size_t recomputes = 0;  ///< safe-region violations at this ts
     double seconds = 0.0;   ///< processing seconds attributed to this ts
     size_t sessions = 0;    ///< sessions that advanced through this ts
   };
-  const std::vector<Slot>& slots() const { return slots_; }
+  /// Copies the slot totals under the stats lock — safe against sessions
+  /// finalizing concurrently (the serving loop allows admissions while a
+  /// Wait() is folding stats).
+  std::vector<Slot> SnapshotSlots() const;
 
  private:
   /// Priority of a session event: virtual time first, session id as the
@@ -106,7 +108,7 @@ class Scheduler {
   size_t outstanding_ = 0;  ///< queued/running events + jobs (idle_mu_)
   size_t holds_ = 0;        ///< outstanding admission holds (idle_mu_)
 
-  std::mutex stats_mu_;
+  mutable std::mutex stats_mu_;
   std::vector<Slot> slots_;
 };
 

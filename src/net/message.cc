@@ -52,4 +52,12 @@ void CommAccounting::Merge(const CommAccounting& other) {
   }
 }
 
+void CommAccounting::AddRaw(MessageType t, size_t messages, size_t packets,
+                            size_t values) {
+  const size_t i = static_cast<size_t>(t);
+  messages_[i] += messages;
+  packets_[i] += packets;
+  values_[i] += values;
+}
+
 }  // namespace mpn

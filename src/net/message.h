@@ -85,6 +85,12 @@ class CommAccounting {
   /// Adds another accounting into this one.
   void Merge(const CommAccounting& other);
 
+  /// Adds pre-aggregated counters for one message type. Used when an
+  /// accounting is reassembled from a serialized form (cluster IPC): the
+  /// packet model already ran on the worker, so the packet count is
+  /// carried verbatim instead of being re-derived.
+  void AddRaw(MessageType t, size_t messages, size_t packets, size_t values);
+
  private:
   std::array<size_t, kMessageTypeCount> messages_{};
   std::array<size_t, kMessageTypeCount> packets_{};

@@ -517,6 +517,114 @@ TEST(EngineLifecycleTest, BoundedMailboxStallsButStaysDeterministic) {
   EXPECT_EQ(digests[0], digests[1]);
 }
 
+// --- Serving loop (Wait drains, Shutdown finishes) ---------------------------
+
+TEST(EngineServingLoopTest, WaitServesMultipleAdmissionWaves) {
+  // Wait() drains the sessions admitted so far but keeps the engine
+  // serving: admit/Wait cycles must repeat, and the final digest must be
+  // exactly the one-shot digest over the same admission order.
+  const World w = MakeWorld(250, 4, 100, 0x5E71);
+  uint64_t oneshot = 0;
+  {
+    Engine engine(&w.pois, &w.tree, MakeEngineOptions(2, false));
+    for (size_t g = 0; g < 4; ++g) {
+      engine.AddSession({&w.trajs[3 * g], &w.trajs[3 * g + 1],
+                         &w.trajs[3 * g + 2]});
+    }
+    engine.Run();
+    oneshot = engine.ResultDigest();
+  }
+  Engine engine(&w.pois, &w.tree, MakeEngineOptions(2, false));
+  engine.Start();
+  for (size_t g = 0; g < 2; ++g) {
+    engine.AdmitSession({&w.trajs[3 * g], &w.trajs[3 * g + 1],
+                         &w.trajs[3 * g + 2]});
+  }
+  engine.Wait();
+  // First wave fully drained; results already consistent.
+  EXPECT_EQ(engine.session_metrics(0).timestamps, 100u);
+  EXPECT_EQ(engine.session_metrics(1).timestamps, 100u);
+  EXPECT_EQ(engine.round_stats().rounds, 100u);
+  // Second wave: the engine is still a server.
+  for (size_t g = 2; g < 4; ++g) {
+    engine.AdmitSession({&w.trajs[3 * g], &w.trajs[3 * g + 1],
+                         &w.trajs[3 * g + 2]});
+  }
+  engine.Wait();
+  engine.Wait();  // re-draining an idle engine is a no-op
+  EXPECT_EQ(engine.session_count(), 4u);
+  EXPECT_EQ(engine.ResultDigest(), oneshot);
+  engine.Shutdown();
+  engine.Shutdown();  // idempotent
+  EXPECT_EQ(engine.ResultDigest(), oneshot);
+  EXPECT_THROW(engine.AdmitSession({&w.trajs[0], &w.trajs[1], &w.trajs[2]}),
+               std::logic_error);
+}
+
+// --- Mailbox high-water marks ------------------------------------------------
+
+TEST(EngineMailboxStatsTest, CapacityZeroStallCountIsDeterministic) {
+  // With no mailbox at all, every recomputation that still has timestamps
+  // ahead stalls the clock — a count fixed by the logical step order, so
+  // it must match across thread counts; the digest must not move against
+  // the default capacity.
+  const World w = MakeWorld(200, 2, 100, 0x5E72);
+  uint64_t default_digest = 0;
+  {
+    Engine engine(&w.pois, &w.tree, MakeEngineOptions(2, false));
+    engine.AdmitSession({&w.trajs[0], &w.trajs[1], &w.trajs[2]});
+    engine.Run();
+    default_digest = engine.ResultDigest();
+  }
+  size_t stalls_1thread = 0;
+  for (size_t threads : {1u, 2u, 4u}) {
+    Engine engine(&w.pois, &w.tree, MakeEngineOptions(threads, false));
+    SessionTuning unbuffered;
+    unbuffered.mailbox_capacity = 0;
+    engine.AdmitSession({&w.trajs[0], &w.trajs[1], &w.trajs[2]}, unbuffered);
+    engine.Run();
+    EXPECT_EQ(engine.ResultDigest(), default_digest)
+        << "capacity must not change the digest (threads=" << threads << ")";
+    EXPECT_GT(engine.session_stall_count(0), 0u);
+    EXPECT_EQ(engine.session_mailbox_peak(0), 0u);
+    if (threads == 1) {
+      stalls_1thread = engine.session_stall_count(0);
+    } else {
+      EXPECT_EQ(engine.session_stall_count(0), stalls_1thread);
+    }
+  }
+}
+
+TEST(EngineMailboxStatsTest, CapacityOneReportsStallsWithoutChangingDigest) {
+  // A capacity-1 mailbox fills on the first buffered update of every
+  // recomputation flight: with a second worker draining location updates
+  // while the (padded) recompute runs, stalls must be reported — and the
+  // digest must still be bit-identical to the default-capacity run.
+  const World w = MakeWorld(200, 2, 120, 0x5E73);
+  uint64_t default_digest = 0;
+  {
+    Engine engine(&w.pois, &w.tree, MakeEngineOptions(2, false));
+    engine.AdmitSession({&w.trajs[0], &w.trajs[1], &w.trajs[2]});
+    engine.Run();
+    default_digest = engine.ResultDigest();
+  }
+  Engine engine(&w.pois, &w.tree, MakeEngineOptions(2, false));
+  SessionTuning tiny;
+  tiny.mailbox_capacity = 1;
+  tiny.recompute_cost_factor = 10.0;  // widen the buffering window
+  engine.AdmitSession({&w.trajs[0], &w.trajs[1], &w.trajs[2]}, tiny);
+  engine.Run();
+  EXPECT_EQ(engine.ResultDigest(), default_digest);
+  const EngineRoundStats& rs = engine.round_stats();
+  EXPECT_GT(rs.mailbox_stalls_per_session.Sum(), 0.0);
+  EXPECT_EQ(rs.mailbox_peak_per_session.Max(), 1.0);
+  EXPECT_EQ(engine.session_mailbox_peak(0), 1u);
+  // The marks are surfaced in the rendered stats table.
+  const std::string table = rs.ToTable().ToString();
+  EXPECT_NE(table.find("mailbox_peak/session"), std::string::npos);
+  EXPECT_NE(table.find("mailbox_stalls/session"), std::string::npos);
+}
+
 // --- 64-group integration run (labeled `integration` in ctest) --------------
 
 TEST(EngineIntegrationTest, SixtyFourGroupsDeterministicUnderLoad) {
