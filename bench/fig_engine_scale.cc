@@ -21,6 +21,12 @@
 //     to the single-process engine over the same groups (the cluster's
 //     determinism guarantee); throughput shows what forked shards buy
 //     once real cores are available (the 1-core dev box shows none).
+//  5. Elastic recovery: one worker is killed mid-run (deterministic
+//     virtual-timestamp crash injection); the supervisor forks a
+//     replacement and re-admits the shard's groups from the coordinator
+//     snapshot. The table reports the restart count, re-admitted session
+//     count and recovery wall-clock, and checks the digest is still
+//     bit-identical to the single-process engine.
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -242,6 +248,49 @@ void RunClusterTable(const std::vector<Point>& pois, const RTree& tree,
   table.WriteCsv("fig_engine_scale_cluster.csv");
 }
 
+void RunRecoveryTable(const std::vector<Point>& pois, const RTree& tree,
+                      const std::vector<std::vector<const Trajectory*>>&
+                          groups,
+                      size_t n_groups, size_t timestamps,
+                      const std::vector<size_t>& shard_counts,
+                      const ServerConfig& server) {
+  // Single-process reference digest: supervised recovery must be invisible
+  // in the results, so every killed-worker run is checked against it.
+  uint64_t ref_digest = 0;
+  {
+    const RunResult r = RunEngineOnce(pois, tree, groups, n_groups, 1, false,
+                                      server);
+    ref_digest = r.digest;
+  }
+  Table table({"shards", "groups", "kills", "restarts", "readmitted",
+               "seconds", "recover_ms", "deterministic"});
+  for (size_t shards : shard_counts) {
+    ClusterOptions opt;
+    opt.workers = shards;
+    opt.engine.threads = 1;
+    opt.engine.sim.server = server;
+    ClusterEngine cluster(&pois, &tree, opt);
+    // One deterministic mid-run death on the last shard: the supervisor
+    // forks a replacement and re-admits the shard's groups from the
+    // coordinator snapshot.
+    cluster.KillWorkerAt(shards - 1, timestamps / 2);
+    for (size_t g = 0; g < n_groups; ++g) cluster.AdmitSession(groups[g]);
+    Timer timer;
+    cluster.Run();
+    const double seconds = timer.ElapsedSeconds();
+    const ClusterEngine::RecoveryStats rs = cluster.recovery_stats();
+    table.AddRow({std::to_string(shards), std::to_string(n_groups), "1",
+                  std::to_string(rs.restarts),
+                  std::to_string(rs.sessions_readmitted),
+                  FormatDouble(seconds, 3),
+                  FormatDouble(rs.recovery_seconds * 1e3, 3),
+                  cluster.ResultDigest() == ref_digest ? "yes" : "NO"});
+  }
+  table.Print("Engine scale — elastic recovery (one worker killed mid-run; "
+              "digest vs single-process engine)");
+  table.WriteCsv("fig_engine_scale_recovery.csv");
+}
+
 void Run() {
   const BenchEnv env = GetBenchEnv();
 
@@ -285,6 +334,8 @@ void Run() {
                 timestamps, thread_counts, server);
   RunClusterTable(pois, tree, groups, std::min<size_t>(16, max_groups),
                   {1, 2, 4}, server);
+  RunRecoveryTable(pois, tree, groups, std::min<size_t>(16, max_groups),
+                   timestamps, {2, 4}, server);
 
   // Per-user verification fan-out on one group: same results, candidate
   // scans spread across the pool. Buffered retrieval keeps candidate lists

@@ -9,6 +9,12 @@
 // digest is then checked against a plain single-process Engine over the
 // same groups: bit-identical, the cluster's determinism guarantee.
 //
+// The second act is the elastic-recovery story: the same workload with a
+// worker killed mid-run by deterministic crash injection. The supervisor
+// forks a replacement, re-admits the dead shard's groups from the
+// coordinator snapshot, and the final digest is still bit-identical —
+// supervised recovery is invisible in the results.
+//
 // Build & run:  ./examples/cluster_demo
 #include <cstdio>
 
@@ -86,5 +92,27 @@ int main() {
               static_cast<unsigned long long>(cluster.ResultDigest()),
               static_cast<unsigned long long>(engine.ResultDigest()),
               match ? "bit-identical" : "MISMATCH");
-  return match ? 0 : 1;
+
+  // Act two: elastic recovery. Same groups, but worker 1 is killed the
+  // moment one of its sessions is about to advance to timestamp 100. The
+  // supervisor forks a replacement, replays the shard's admissions from
+  // the coordinator snapshot, and the digest must not move.
+  ClusterEngine elastic(&pois, &tree, opt);
+  elastic.KillWorkerAt(/*shard=*/1, /*timestamp=*/kTimestamps / 2);
+  for (size_t g = 0; g < kGroups; ++g) {
+    SessionTuning tuning;
+    if (g == kGroups - 1) tuning.retire_at = 120;
+    elastic.AdmitSession(groups[g], tuning);
+  }
+  elastic.Run();
+  const ClusterEngine::RecoveryStats rs = elastic.recovery_stats();
+  std::printf("recovery: %zu restart(s), %zu session(s) re-admitted, "
+              "%zu frame(s) replayed, %.1f ms\n",
+              rs.restarts, rs.sessions_readmitted, rs.frames_replayed,
+              rs.recovery_seconds * 1e3);
+  const bool recovered_match = elastic.ResultDigest() == engine.ResultDigest();
+  std::printf("digest after worker kill: %016llx — %s\n",
+              static_cast<unsigned long long>(elastic.ResultDigest()),
+              recovered_match ? "bit-identical" : "MISMATCH");
+  return match && recovered_match && rs.restarts == 1 ? 0 : 1;
 }

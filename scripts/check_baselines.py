@@ -36,7 +36,7 @@ PARAM_COLUMNS = {
     "groups", "threads", "sessions", "straggler", "scenario", "method",
     "metric", "objective", "group size", "m", "n", "data size", "speed",
     "buffer", "alpha", "graph", "nodes", "scale", "rounds", "retired",
-    "shards",
+    "shards", "kills",
 }
 
 

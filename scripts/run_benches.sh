@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Runs every figure-reproduction bench and saves the tables under
 # bench-results/<scale>/, one .txt per harness. Intended for recording
-# perf baselines (see ROADMAP.md "Open items").
+# perf baselines (see ROADMAP.md "Open items"). Harnesses that emit
+# several CSV tables (e.g. fig_engine_scale's scale / straggler / churn /
+# cluster / recovery sweeps) drop them all into the same directory, so
+# new tables flow into scripts/update_baselines.py with no changes here.
 #
 # Usage:  scripts/run_benches.sh [build-dir]
 #         MPN_BENCH_SCALE=full scripts/run_benches.sh

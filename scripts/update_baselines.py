@@ -10,6 +10,9 @@ stem. Counter columns (updates, packets, tiles, index accesses, digests)
 are deterministic and must match across machines for identical code;
 timing columns (seconds, cpu_ms, rounds/sec) are machine-dependent and are
 listed in "timing_columns" so diff tooling can treat them as informational.
+That split extends to the elastic-recovery table (fig_engine_scale_recovery):
+restart and re-admission counts are deterministic counters — crash
+injection fires on a virtual timestamp — while recover_ms is timing.
 
 Google-Benchmark JSON dumps in the results tree (micro_ch_bench.json) are
 folded into a "micro" section: per-benchmark real time plus counters (the

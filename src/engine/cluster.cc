@@ -4,14 +4,19 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <deque>
 #include <stdexcept>
+#include <thread>
+#include <unordered_map>
 #include <utility>
 
 #include "engine/digest.h"
 #include "util/macros.h"
+#include "util/timer.h"
 
 namespace mpn {
 
@@ -89,6 +94,9 @@ SimMetrics ReadMetrics(WireReader* r) {
 /// Worker serving loop: one Engine over this shard's groups, fed by
 /// frames until the coordinator shuts it down or closes the pipe. Runs in
 /// the forked child; must not touch the coordinator's state or stdio.
+/// Retire frames carry *global* ids (a replacement worker's local ids
+/// restart from 0 while global ids do not), so the worker keeps the
+/// global->local map.
 int WorkerMain(IpcChannel* ch, const std::vector<Point>* pois,
                const RTree* tree, const EngineOptions& options) {
   try {
@@ -98,6 +106,7 @@ int WorkerMain(IpcChannel* ch, const std::vector<Point>* pois,
     // pointers into it, so entries must never move (deque).
     std::deque<std::vector<Trajectory>> storage;
     std::vector<uint32_t> global_ids;
+    std::unordered_map<uint32_t, uint32_t> local_of;
     std::vector<uint8_t> payload;
     while (ch->Recv(&payload)) {
       WireReader r(payload);
@@ -108,6 +117,7 @@ int WorkerMain(IpcChannel* ch, const std::vector<Point>* pois,
           tuning.recompute_cost_factor = r.GetDouble();
           tuning.retire_at = static_cast<size_t>(r.GetU64());
           tuning.mailbox_capacity = static_cast<size_t>(r.GetU64());
+          tuning.mailbox_policy = static_cast<MailboxPolicy>(r.GetU8());
           const uint32_t m = r.GetU32();
           std::vector<Trajectory> trajs(m);
           for (uint32_t i = 0; i < m; ++i) {
@@ -127,12 +137,17 @@ int WorkerMain(IpcChannel* ch, const std::vector<Point>* pois,
             throw std::runtime_error("cluster worker: local id out of sync");
           }
           global_ids.push_back(global_id);
+          local_of.emplace(global_id, local);
           break;
         }
         case kRetire: {
-          const uint32_t local = r.GetU32();
+          const uint32_t global_id = r.GetU32();
           const uint64_t at = r.GetU64();
-          engine.RetireSession(local, static_cast<size_t>(at));
+          const auto it = local_of.find(global_id);
+          if (it == local_of.end()) {
+            throw std::runtime_error("cluster worker: retire for unknown id");
+          }
+          engine.RetireSession(it->second, static_cast<size_t>(at));
           break;
         }
         case kDrain: {
@@ -148,6 +163,7 @@ int WorkerMain(IpcChannel* ch, const std::vector<Point>* pois,
             out.PutU32(engine.session_po(local));
             out.PutU64(engine.session_mailbox_peak(local));
             out.PutU64(engine.session_stall_count(local));
+            out.PutU64(engine.session_dropped_count(local));
           }
           const std::vector<Scheduler::Slot> slots = engine.timeline_slots();
           out.PutU32(static_cast<uint32_t>(slots.size()));
@@ -192,6 +208,7 @@ ClusterEngine::ClusterEngine(const std::vector<Point>* pois, const RTree* tree,
     : pois_(pois), tree_(tree), options_(options) {
   MPN_ASSERT(pois_ != nullptr && tree_ != nullptr);
   MPN_ASSERT_MSG(options_.workers >= 1, "cluster needs at least one worker");
+  crash_plan_ = CrashPlan::FromEnv();
 }
 
 ClusterEngine::~ClusterEngine() { TeardownWorkers(/*force=*/false); }
@@ -218,19 +235,28 @@ void ClusterEngine::RequireHealthy() const {
   }
 }
 
+size_t ClusterEngine::ShardSessionCount(size_t shard) const {
+  if (next_id_ <= shard) return 0;
+  return (next_id_ - shard - 1) / options_.workers + 1;
+}
+
 uint32_t ClusterEngine::AdmitSession(
     const std::vector<const Trajectory*>& group, const SessionTuning& tuning) {
   std::lock_guard<std::mutex> lock(mu_);
   RequireServing();
   MPN_ASSERT(!group.empty());
+  const size_t shard = next_id_ % options_.workers;
+  if (started_ && workers_[shard].lost) {
+    throw std::runtime_error(workers_[shard].lost_reason);
+  }
   const uint32_t id = next_id_++;
-  const size_t shard = id % options_.workers;
   WireBuffer frame;
   frame.PutU8(kAdmit);
   frame.PutU32(id);
   frame.PutDouble(tuning.recompute_cost_factor);
   frame.PutU64(static_cast<uint64_t>(tuning.retire_at));
   frame.PutU64(static_cast<uint64_t>(tuning.mailbox_capacity));
+  frame.PutU8(static_cast<uint8_t>(tuning.mailbox_policy));
   frame.PutU32(static_cast<uint32_t>(group.size()));
   for (const Trajectory* t : group) {
     MPN_ASSERT(t != nullptr);
@@ -240,10 +266,14 @@ uint32_t ClusterEngine::AdmitSession(
       frame.PutDouble(p.y);
     }
   }
-  if (!started_) {
-    pending_.emplace_back(shard, std::move(frame));
-  } else {
-    SendOrThrow(shard, frame);
+  // Record intent in the snapshot BEFORE the first send: if the worker is
+  // already dead, the recovery replay delivers this very frame — a second
+  // send would duplicate it.
+  SessionState state;
+  state.admit_frame = std::move(frame);
+  snapshot_.push_back(std::move(state));
+  if (started_ && !workers_[shard].channel.Send(snapshot_[id].admit_frame)) {
+    RecoverShard(shard);  // replay includes the new admit frame
   }
   return id;
 }
@@ -255,15 +285,140 @@ void ClusterEngine::RetireSession(uint32_t id, size_t at_timestamp) {
     throw std::out_of_range("ClusterEngine::RetireSession: unknown id");
   }
   const size_t shard = id % options_.workers;
+  Worker* w = started_ ? &workers_[shard] : nullptr;
+  if (w != nullptr && w->lost) throw std::runtime_error(w->lost_reason);
+  // Snapshot first (see AdmitSession).
+  snapshot_[id].retire_ats.push_back(static_cast<uint64_t>(at_timestamp));
+  if (w == nullptr) return;
+  const size_t shard_index = id / options_.workers;
+  // Sessions final as of the shard's last drain are restored from the
+  // coordinator snapshot, not re-admitted: retiring one is a no-op (its
+  // timestamps are all processed already).
+  if (shard_index < w->restored_below) return;
   WireBuffer frame;
   frame.PutU8(kRetire);
-  frame.PutU32(id / static_cast<uint32_t>(options_.workers));
+  frame.PutU32(id);
   frame.PutU64(static_cast<uint64_t>(at_timestamp));
-  if (!started_) {
-    pending_.emplace_back(shard, std::move(frame));
-  } else {
-    SendOrThrow(shard, frame);
+  if (!w->channel.Send(frame)) {
+    RecoverShard(shard);  // replay includes the new retire frame
   }
+}
+
+void ClusterEngine::ForkWorker(size_t shard) {
+  Worker& w = workers_[shard];
+  IpcChannel parent_end, child_end;
+  IpcChannel::MakePair(&parent_end, &child_end);
+  // Arm the next planned crash for this shard (FIFO per incarnation);
+  // CrashPlan::kNoCrash == the engine's "disabled" sentinel.
+  EngineOptions engine_options = options_.engine;
+  engine_options.crash_at_timestamp = crash_plan_.Take(shard);
+  const pid_t pid = fork();
+  if (pid < 0) {
+    throw std::runtime_error("mpn cluster: fork failed");
+  }
+  if (pid == 0) {
+    // Worker process. Drop every coordinator-side fd so a dead sibling
+    // (or a closing coordinator) reliably surfaces as EOF, then serve.
+    parent_end.Close();
+    for (Worker& other : workers_) other.channel.Close();
+    const int code = WorkerMain(&child_end, pois_, tree_, engine_options);
+    child_end.Close();
+    // _Exit: no atexit handlers, no static destructors, no flushing of
+    // stdio buffers inherited from the coordinator.
+    std::_Exit(code);
+  }
+  child_end.Close();
+  w.pid = pid;
+  w.channel = std::move(parent_end);
+  w.reaped = false;
+}
+
+bool ClusterEngine::ReplayShardSnapshot(size_t shard, bool count_stats) {
+  Worker& w = workers_[shard];
+  const size_t shard_sessions = ShardSessionCount(shard);
+  if (count_stats) stats_.sessions_restored += w.restored_below;
+  for (size_t k = w.restored_below; k < shard_sessions; ++k) {
+    const uint32_t id =
+        static_cast<uint32_t>(shard + k * options_.workers);
+    const SessionState& state = snapshot_[id];
+    if (!w.channel.Send(state.admit_frame)) return false;
+    if (count_stats) {
+      ++stats_.sessions_readmitted;
+      ++stats_.frames_replayed;
+    }
+    for (const uint64_t at : state.retire_ats) {
+      WireBuffer frame;
+      frame.PutU8(kRetire);
+      frame.PutU32(id);
+      frame.PutU64(at);
+      if (!w.channel.Send(frame)) return false;
+      if (count_stats) ++stats_.frames_replayed;
+    }
+  }
+  return true;
+}
+
+void ClusterEngine::MarkShardLost(size_t shard) {
+  Worker& w = workers_[shard];
+  std::string ids;
+  const size_t shard_sessions = ShardSessionCount(shard);
+  for (size_t k = w.drained_through; k < shard_sessions; ++k) {
+    if (!ids.empty()) ids += ", ";
+    ids += std::to_string(shard + k * options_.workers);
+  }
+  w.lost = true;
+  w.lost_reason = ShardError(
+      shard, "lost after " + std::to_string(w.restarts) +
+                 " restart(s): restart budget exhausted; groups lost: [" +
+                 (ids.empty() ? std::string("none") : ids) + "]");
+  ++stats_.shards_lost;
+  throw std::runtime_error(w.lost_reason);
+}
+
+void ClusterEngine::RecoverShard(size_t shard) {
+  Timer timer;
+  for (;;) {
+    Worker& w = workers_[shard];
+    // The worker may be a zombie (crashed) or alive-but-wedged (its engine
+    // deadlocked would also land here via a test kill); SIGKILL is
+    // idempotent either way, and closing the channel first guarantees the
+    // blocking reap cannot hang.
+    if (w.pid > 0 && !w.reaped) kill(w.pid, SIGKILL);
+    w.channel.Close();
+    Reap(shard);
+    const RecoveryOptions& recovery = options_.recovery;
+    if (recovery.max_restarts == 0) {
+      // Pre-elastic fail-stop: poison the cluster instead of recovering.
+      failed_ = true;
+      stats_.recovery_seconds += timer.ElapsedSeconds();
+      throw std::runtime_error(
+          ShardError(shard, "exited unexpectedly (recovery disabled)"));
+    }
+    if (w.restarts >= recovery.max_restarts) {
+      stats_.recovery_seconds += timer.ElapsedSeconds();
+      MarkShardLost(shard);
+    }
+    ++w.restarts;
+    ++stats_.restarts;
+    if (recovery.backoff_initial_ms > 0.0) {
+      double ms = recovery.backoff_initial_ms;
+      for (size_t i = 1; i < w.restarts && ms < recovery.backoff_max_ms; ++i) {
+        ms *= 2.0;
+      }
+      ms = std::min(ms, recovery.backoff_max_ms);
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+    }
+    // Everything the dead incarnation did since its last successful drain
+    // is discarded; finals below drained_through keep their coordinator-
+    // held results and their slot contribution moves into slot_base.
+    w.restored_below = w.drained_through;
+    w.slot_base = w.last_slots;
+    ForkWorker(shard);
+    if (ReplayShardSnapshot(shard, /*count_stats=*/true)) break;
+    // The replacement died mid-replay (e.g. a crash plan armed at t=0 on a
+    // replayed session): charge another restart attempt.
+  }
+  stats_.recovery_seconds += timer.ElapsedSeconds();
 }
 
 void ClusterEngine::Start() {
@@ -272,34 +427,106 @@ void ClusterEngine::Start() {
     throw std::logic_error("ClusterEngine::Run/Start may be called once");
   }
   started_ = true;
-  workers_.reserve(options_.workers);
+  workers_.resize(options_.workers);
   for (size_t shard = 0; shard < options_.workers; ++shard) {
-    IpcChannel parent_end, child_end;
-    IpcChannel::MakePair(&parent_end, &child_end);
-    const pid_t pid = fork();
-    if (pid < 0) {
-      throw std::runtime_error("mpn cluster: fork failed");
-    }
-    if (pid == 0) {
-      // Worker process. Drop every coordinator-side fd so a dead sibling
-      // (or a closing coordinator) reliably surfaces as EOF, then serve.
-      parent_end.Close();
-      for (Worker& w : workers_) w.channel.Close();
-      const int code =
-          WorkerMain(&child_end, pois_, tree_, options_.engine);
-      child_end.Close();
-      // _Exit: no atexit handlers, no static destructors, no flushing of
-      // stdio buffers inherited from the coordinator.
-      std::_Exit(code);
-    }
-    child_end.Close();
-    Worker w;
-    w.pid = pid;
-    w.channel = std::move(parent_end);
-    workers_.push_back(std::move(w));
+    ForkWorker(shard);
   }
-  for (auto& [shard, frame] : pending_) SendOrThrow(shard, frame);
-  pending_.clear();
+  // Initial delivery shares the recovery replay path (restored_below is 0,
+  // so the full snapshot goes out); stats stay zero for it — only real
+  // recoveries count. A worker dying this early (e.g. a crash plan armed
+  // at t=0) is recovered like any other death.
+  for (size_t shard = 0; shard < options_.workers; ++shard) {
+    if (!ReplayShardSnapshot(shard, /*count_stats=*/false)) {
+      RecoverShard(shard);  // loops until replayed, lost, or poisoned
+    }
+  }
+}
+
+bool ClusterEngine::SendDrainRecovering(size_t shard) {
+  WireBuffer drain;
+  drain.PutU8(kDrain);
+  for (;;) {
+    if (workers_[shard].lost) return false;
+    if (workers_[shard].channel.Send(drain)) return true;
+    try {
+      RecoverShard(shard);
+    } catch (const std::runtime_error&) {
+      if (failed_) throw;  // poison latch: not a graceful degradation
+      return false;        // shard lost; reason stored in lost_reason
+    }
+  }
+}
+
+bool ClusterEngine::RecvDrainRecovering(size_t shard) {
+  for (;;) {
+    if (workers_[shard].lost) return false;
+    std::vector<uint8_t> payload;
+    bool dead = !workers_[shard].channel.Recv(&payload);
+    if (!dead && !payload.empty() && payload[0] == kWorkerError) {
+      // The worker hit an internal error and exited; treat like a death —
+      // deterministic errors (e.g. a failing correctness check) recur on
+      // replay and exhaust the budget, transient ones recover.
+      dead = true;
+    }
+    if (dead) {
+      try {
+        RecoverShard(shard);
+      } catch (const std::runtime_error&) {
+        if (failed_) throw;
+        return false;
+      }
+      if (!SendDrainRecovering(shard)) return false;
+      continue;  // replacement is recomputing; await its drain reply
+    }
+    ParseDrainReply(shard, payload);
+    return true;
+  }
+}
+
+void ClusterEngine::ParseDrainReply(size_t shard,
+                                    const std::vector<uint8_t>& payload) {
+  Worker& w = workers_[shard];
+  WireReader r(payload);
+  if (r.GetU8() != kDrainedOk) {
+    failed_ = true;
+    throw std::runtime_error(ShardError(shard, "sent an invalid reply"));
+  }
+  const size_t shard_sessions = ShardSessionCount(shard);
+  const uint32_t sessions = r.GetU32();
+  if (sessions != shard_sessions - w.restored_below) {
+    failed_ = true;
+    throw std::runtime_error(ShardError(shard, "routed ids out of sync"));
+  }
+  for (uint32_t local = 0; local < sessions; ++local) {
+    const uint32_t global_id = r.GetU32();
+    const uint32_t expected = static_cast<uint32_t>(
+        shard + (w.restored_below + local) * options_.workers);
+    if (global_id != expected || global_id >= results_.size()) {
+      failed_ = true;
+      throw std::runtime_error(ShardError(shard, "routed ids out of sync"));
+    }
+    SessionResult& res = results_[global_id];
+    res.metrics = ReadMetrics(&r);
+    res.has_result = r.GetU8() != 0;
+    res.po = r.GetU32();
+    res.mailbox_peak = r.GetU64();
+    res.stalls = r.GetU64();
+    res.dropped = r.GetU64();
+  }
+  // Effective slot totals = dead incarnations' drained history + this
+  // incarnation's recomputed timeline (commutative per-slot sums, so the
+  // split is invisible to the folded round stats).
+  const uint32_t slot_count = r.GetU32();
+  std::vector<SlotTotals> slots = w.slot_base;
+  if (slots.size() < slot_count) slots.resize(slot_count);
+  for (uint32_t t = 0; t < slot_count; ++t) {
+    slots[t].messages += r.GetU64();
+    slots[t].recomputes += r.GetU64();
+    slots[t].seconds += r.GetDouble();
+  }
+  w.last_slots = std::move(slots);
+  // Every session admitted so far is final now (Engine::Wait drains all).
+  w.drained_through = shard_sessions;
 }
 
 void ClusterEngine::Wait() {
@@ -307,49 +534,34 @@ void ClusterEngine::Wait() {
   RequireStarted();
   RequireHealthy();
   if (stopped_) return;  // results were frozen by Shutdown
-  WireBuffer drain;
-  drain.PutU8(kDrain);
-  for (size_t shard = 0; shard < workers_.size(); ++shard) {
-    SendOrThrow(shard, drain);
-  }
+  results_.resize(next_id_);
 
-  std::vector<SessionResult> results(next_id_);
-  std::vector<SlotTotals> slots;
+  // Phase 1: fan the drain request out to every healthy shard so workers
+  // recompute concurrently; phase 2 collects replies (and recovers +
+  // re-drains through any deaths). Shards that exhaust their budget are
+  // collected, not fatal — healthy shards still refresh their results.
+  std::vector<bool> draining(workers_.size(), false);
   for (size_t shard = 0; shard < workers_.size(); ++shard) {
-    const std::vector<uint8_t> payload = RecvOrThrow(shard);
-    WireReader r(payload);
-    if (r.GetU8() != kDrainedOk) {
-      throw std::runtime_error(ShardError(shard, "sent an invalid reply"));
-    }
-    const uint32_t sessions = r.GetU32();
-    for (uint32_t local = 0; local < sessions; ++local) {
-      const uint32_t global_id = r.GetU32();
-      const uint32_t expected =
-          static_cast<uint32_t>(shard) +
-          local * static_cast<uint32_t>(options_.workers);
-      if (global_id != expected || global_id >= results.size()) {
-        throw std::runtime_error(ShardError(shard, "routed ids out of sync"));
-      }
-      SessionResult& res = results[global_id];
-      res.metrics = ReadMetrics(&r);
-      res.has_result = r.GetU8() != 0;
-      res.po = r.GetU32();
-      res.mailbox_peak = r.GetU64();
-      res.stalls = r.GetU64();
-    }
-    const uint32_t slot_count = r.GetU32();
-    if (slots.size() < slot_count) slots.resize(slot_count);
-    for (uint32_t t = 0; t < slot_count; ++t) {
-      slots[t].messages += r.GetU64();
-      slots[t].recomputes += r.GetU64();
-      slots[t].seconds += r.GetDouble();
-    }
+    draining[shard] = SendDrainRecovering(shard);
   }
-  results_ = std::move(results);
+  for (size_t shard = 0; shard < workers_.size(); ++shard) {
+    if (draining[shard]) RecvDrainRecovering(shard);
+  }
 
   // Fold exactly like Engine::RebuildRoundStats: slot totals in timestamp
   // order (bit-identical counter sequences for any worker count), then the
-  // per-session mailbox marks in global session order.
+  // per-session mailbox marks in global session order. Lost shards
+  // contribute their last drained history — consistent with their results_
+  // entries staying frozen at the last successful drain.
+  std::vector<SlotTotals> slots;
+  for (const Worker& w : workers_) {
+    if (slots.size() < w.last_slots.size()) slots.resize(w.last_slots.size());
+    for (size_t t = 0; t < w.last_slots.size(); ++t) {
+      slots[t].messages += w.last_slots[t].messages;
+      slots[t].recomputes += w.last_slots[t].recomputes;
+      slots[t].seconds += w.last_slots[t].seconds;
+    }
+  }
   EngineRoundStats stats;
   for (const SlotTotals& slot : slots) {
     stats.messages_per_round.Add(static_cast<double>(slot.messages));
@@ -362,27 +574,64 @@ void ClusterEngine::Wait() {
     stats.mailbox_stalls_per_session.Add(static_cast<double>(res.stalls));
   }
   round_stats_ = stats;
+
+  // Graceful degradation: report every lost shard (this drain's and
+  // earlier ones') after the healthy shards' results landed.
+  std::string lost;
+  for (const Worker& w : workers_) {
+    if (!w.lost) continue;
+    if (!lost.empty()) lost += "; ";
+    lost += w.lost_reason;
+  }
+  if (!lost.empty()) throw std::runtime_error(lost);
 }
 
 void ClusterEngine::Shutdown() {
-  Wait();
-  std::lock_guard<std::mutex> lock(mu_);
-  if (stopped_) return;
-  stopped_ = true;
-  WireBuffer bye;
-  bye.PutU8(kShutdown);
-  for (size_t shard = 0; shard < workers_.size(); ++shard) {
-    SendOrThrow(shard, bye);
-  }
-  for (size_t shard = 0; shard < workers_.size(); ++shard) {
-    const std::vector<uint8_t> payload = RecvOrThrow(shard);
-    WireReader r(payload);
-    if (r.GetU8() != kShutdownAck) {
-      throw std::runtime_error(ShardError(shard, "sent an invalid reply"));
+  // A degraded Wait (lost shards) still stops the healthy workers
+  // gracefully below, then re-throws; a poisoned cluster propagates
+  // immediately (the protocol state is not trustworthy).
+  std::exception_ptr degraded;
+  try {
+    Wait();
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (failed_) throw;
     }
-    workers_[shard].channel.Close();
-    Reap(shard);
+    degraded = std::current_exception();
   }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!stopped_) {
+      stopped_ = true;
+      WireBuffer bye;
+      bye.PutU8(kShutdown);
+      for (size_t shard = 0; shard < workers_.size(); ++shard) {
+        Worker& w = workers_[shard];
+        if (w.lost) continue;
+        // A worker dying between its drain reply and the shutdown ack
+        // loses nothing — every result already crossed — so transport
+        // failures here are tolerated, not recovered.
+        if (!w.channel.Send(bye)) {
+          w.channel.Close();
+          Reap(shard);
+          continue;
+        }
+        std::vector<uint8_t> payload;
+        if (w.channel.Recv(&payload)) {
+          WireReader r(payload);
+          if (r.GetU8() != kShutdownAck) {
+            failed_ = true;
+            throw std::runtime_error(
+                ShardError(shard, "sent an invalid reply"));
+          }
+        }
+        w.channel.Close();
+        Reap(shard);
+      }
+    }
+  }
+  if (degraded) std::rethrow_exception(degraded);
 }
 
 void ClusterEngine::Run() {
@@ -419,6 +668,10 @@ size_t ClusterEngine::session_stall_count(uint32_t id) const {
   return static_cast<size_t>(ResultChecked(id).stalls);
 }
 
+size_t ClusterEngine::session_dropped_count(uint32_t id) const {
+  return static_cast<size_t>(ResultChecked(id).dropped);
+}
+
 SimMetrics ClusterEngine::TotalMetrics() const {
   SimMetrics total;
   for (const SessionResult& res : results_) total.Merge(res.metrics);
@@ -433,6 +686,17 @@ uint64_t ClusterEngine::ResultDigest() const {
   return fnv.hash;
 }
 
+ClusterEngine::RecoveryStats ClusterEngine::recovery_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+bool ClusterEngine::shard_lost(size_t shard) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MPN_ASSERT(shard < options_.workers);
+  return started_ && workers_[shard].lost;
+}
+
 void ClusterEngine::KillWorkerForTest(size_t shard) {
   std::lock_guard<std::mutex> lock(mu_);
   RequireStarted();
@@ -442,32 +706,17 @@ void ClusterEngine::KillWorkerForTest(size_t shard) {
   }
 }
 
-void ClusterEngine::SendOrThrow(size_t shard, const WireBuffer& frame) {
-  if (!workers_[shard].channel.Send(frame)) {
-    failed_ = true;  // replies may now be out of phase: poison the cluster
-    Reap(shard);
-    throw std::runtime_error(
-        ShardError(shard, "exited unexpectedly (send failed)"));
+void ClusterEngine::KillWorkerAt(size_t shard, size_t timestamp) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_) {
+    throw std::logic_error(
+        "ClusterEngine::KillWorkerAt must be called before Start");
   }
-}
-
-std::vector<uint8_t> ClusterEngine::RecvOrThrow(size_t shard) {
-  std::vector<uint8_t> payload;
-  if (!workers_[shard].channel.Recv(&payload)) {
-    failed_ = true;
-    Reap(shard);
-    throw std::runtime_error(
-        ShardError(shard, "exited unexpectedly (connection closed)"));
-  }
-  if (!payload.empty() && payload[0] == kWorkerError) {
-    WireReader r(payload);
-    r.GetU8();
-    const std::string what = r.GetString();
-    failed_ = true;
-    Reap(shard);
-    throw std::runtime_error(ShardError(shard, "failed: " + what));
-  }
-  return payload;
+  MPN_ASSERT(shard < options_.workers);
+  CrashPlan::Event event;
+  event.shard = shard;
+  event.timestamp = timestamp;
+  crash_plan_.events.push_back(event);
 }
 
 void ClusterEngine::Reap(size_t shard) {

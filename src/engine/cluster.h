@@ -7,8 +7,8 @@
 // (trajectories, tuning) and results cross the process boundary.
 //
 // Ids and routing: the coordinator assigns dense global session ids in
-// admission order; id g lives on worker g % N as that worker's local
-// session g / N (per-pipe FIFO keeps per-worker admission order equal to
+// admission order; id g lives on worker g % N as that shard's k-th group
+// (k = g / N — per-pipe FIFO keeps per-worker admission order equal to
 // global order restricted to the shard). When a drain completes, each
 // worker ships every session's deterministic result fields plus its
 // per-timestamp slot totals; the coordinator reassembles the per-session
@@ -25,11 +25,33 @@
 // shutdown — so a cluster supports repeated AdmitSession/Wait() cycles
 // exactly like the single-process serving loop.
 //
-// Robustness: a worker that exits mid-run closes its socketpair end, so
-// the coordinator's next Send/Recv fails instead of hanging — Wait() then
-// throws std::runtime_error naming the failing shard. Double Start() and
-// AdmitSession after Shutdown() are hard std::logic_errors. See
-// docs/ARCHITECTURE.md §5c for the protocol.
+// Elastic recovery: the coordinator keeps a session snapshot — every
+// group's serialized admit frame and retirement timestamps, plus each
+// session's last drained result — so a worker death (EOF / EPIPE /
+// kWorkerError on any interaction) is survivable. The supervisor forks a
+// replacement, re-admits the dead shard's *non-final* groups from the
+// snapshot (sessions final as of the shard's last successful drain keep
+// their coordinator-held results and are not recomputed), and resumes the
+// interrupted operation. Replayed sessions recompute deterministically
+// from timestamp 0, so the post-recovery ResultDigest() is bit-identical
+// to an uninterrupted run; per-timestamp round stats stay bit-identical
+// too because each shard's slot totals split into the dead incarnations'
+// drained history (slot_base) plus the replacement's recomputed timeline,
+// and per-slot integer sums are commutative. Restarts are bounded per
+// shard (RecoveryOptions::max_restarts, with exponential backoff);
+// exhausting the budget degrades gracefully — the shard is marked lost,
+// the error names every group lost with it, and the healthy shards keep
+// serving and draining. RecoveryStats reports restarts, re-admissions,
+// replayed frames and recovery latency. Crash injection for tests and
+// benches: KillWorkerAt / MPN_CRASH_PLAN arm a deterministic virtual-
+// timestamp kill in each worker incarnation (engine/ipc.h CrashPlan,
+// EngineOptions::crash_at_timestamp).
+//
+// With max_restarts = 0 the pre-elastic fail-stop behaviour is restored:
+// any transport failure latches the cluster as failed and every
+// subsequent call throws. Double Start() and AdmitSession after
+// Shutdown() are hard std::logic_errors. See docs/ARCHITECTURE.md §5c for
+// the protocol and the recovery determinism argument.
 #pragma once
 
 #include <sys/types.h>
@@ -45,22 +67,49 @@
 
 namespace mpn {
 
+/// Worker supervision policy.
+struct RecoveryOptions {
+  /// Replacement workers the supervisor may fork per shard before the
+  /// shard degrades to lost. 0 disables recovery entirely: the first
+  /// transport failure poisons the cluster (pre-elastic fail-stop).
+  size_t max_restarts = 2;
+  /// Sleep before the k-th consecutive restart of a shard:
+  /// backoff_initial_ms * 2^(k-1), capped at backoff_max_ms. 0 restarts
+  /// immediately (test-friendly default; benches/servers set it > 0 to
+  /// avoid hammering a crash-looping shard).
+  double backoff_initial_ms = 0.0;
+  double backoff_max_ms = 200.0;
+};
+
 /// Cluster configuration.
 struct ClusterOptions {
   /// Worker processes (shards). Groups are routed by group_id % workers.
   size_t workers = 2;
   /// Per-worker engine configuration (thread pool size, sim options, ...).
   EngineOptions engine;
+  /// Worker supervision (restart budget, backoff).
+  RecoveryOptions recovery;
 };
 
 /// Coordinator of a multi-process engine cluster. Mirrors the Engine
 /// lifecycle API; calls are serialized internally — the concurrency lives
-/// in the worker processes. A transport failure (e.g. a worker death
-/// surfaced by a throwing Wait) latches the cluster as failed: further
-/// admits/drains throw instead of risking out-of-phase replies, and the
-/// result accessors keep returning the last successful drain's snapshot.
+/// in the worker processes. Worker deaths are handled by the supervisor
+/// (see the header comment); only an exhausted restart budget (per-shard
+/// graceful degradation), max_restarts = 0 (fail-stop poison latch) or a
+/// protocol violation (poison latch) surface as errors, and the result
+/// accessors always keep returning the last successful drain's snapshot.
 class ClusterEngine {
  public:
+  /// Counters of the supervisor (cumulative over the cluster's life).
+  struct RecoveryStats {
+    size_t restarts = 0;            ///< replacement workers forked
+    size_t sessions_readmitted = 0; ///< non-final sessions replayed to them
+    size_t sessions_restored = 0;   ///< final sessions kept from snapshot
+    size_t frames_replayed = 0;     ///< admit+retire frames re-sent
+    size_t shards_lost = 0;         ///< shards degraded after the budget
+    double recovery_seconds = 0.0;  ///< wall time spent recovering
+  };
+
   /// `pois` and `tree` must be fully built before Start() forks the
   /// workers and must outlive the cluster (workers inherit them
   /// copy-on-write).
@@ -73,30 +122,39 @@ class ClusterEngine {
 
   /// Registers one group; returns its global session id (dense, in
   /// admission order). The trajectories are serialized into the admit
-  /// frame, so they only need to stay alive for the duration of the call.
-  /// Throws std::logic_error after Shutdown().
+  /// frame (which the coordinator also snapshots for recovery replay), so
+  /// they only need to stay alive for the duration of the call. Throws
+  /// std::logic_error after Shutdown() and std::runtime_error when the
+  /// group routes to a lost shard.
   uint32_t AdmitSession(const std::vector<const Trajectory*>& group,
                         const SessionTuning& tuning = SessionTuning());
 
   /// Deterministically truncates session `id`'s horizon at `at_timestamp`
   /// (see Engine::RetireSession; Engine::kRetireNow asks for the next
-  /// event boundary instead, which is wall-clock dependent).
+  /// event boundary instead, which is wall-clock dependent). Recorded in
+  /// the recovery snapshot, so replayed sessions retire identically.
   void RetireSession(uint32_t id, size_t at_timestamp = Engine::kRetireNow);
 
   /// Forks the worker processes (each starts its engine immediately) and
-  /// flushes admissions queued before Start. Throws std::logic_error when
-  /// called twice.
+  /// replays the admissions/retirements recorded before Start. Throws
+  /// std::logic_error when called twice.
   void Start();
 
-  /// Serving-loop drain: asks every worker to drain (Engine::Wait) and
-  /// collects their result snapshots. Valid results afterwards; more
-  /// admissions may follow. Throws std::runtime_error naming the shard
-  /// when a worker exited instead of draining (which latches the cluster
-  /// as failed — see RequireHealthy); std::logic_error before Start.
+  /// Serving-loop drain: asks every healthy worker to drain (Engine::Wait)
+  /// and collects their result snapshots. Valid results afterwards; more
+  /// admissions may follow. A worker dying anywhere in the drain is
+  /// recovered and re-drained transparently (bit-identical results — see
+  /// the header comment). Throws std::runtime_error naming the shard and
+  /// its lost group ids when a shard exhausts its restart budget (healthy
+  /// shards still drain first, and their fresh results stay readable —
+  /// every later Wait re-throws for the lost shard); std::logic_error
+  /// before Start.
   void Wait();
 
   /// Wait() + stop the workers (graceful shutdown frames, then reap).
-  /// AdmitSession afterwards is a hard std::logic_error. Idempotent.
+  /// AdmitSession afterwards is a hard std::logic_error. Idempotent. When
+  /// Wait degrades (lost shards), healthy workers are still stopped
+  /// gracefully before the error propagates.
   void Shutdown();
 
   /// Start() + Shutdown() — one-shot drain over the queued admissions.
@@ -111,6 +169,7 @@ class ClusterEngine {
   bool session_has_result(uint32_t id) const;
   size_t session_mailbox_peak(uint32_t id) const;
   size_t session_stall_count(uint32_t id) const;
+  size_t session_dropped_count(uint32_t id) const;
 
   /// Merged metrics across all sessions (valid after Wait).
   SimMetrics TotalMetrics() const;
@@ -121,18 +180,61 @@ class ClusterEngine {
   const EngineRoundStats& round_stats() const { return round_stats_; }
 
   /// Bit-identical to Engine::ResultDigest() over the same groups in the
-  /// same admission order, for any worker count (valid after Wait).
+  /// same admission order, for any worker count and any recovered worker
+  /// deaths (valid after Wait).
   uint64_t ResultDigest() const;
 
-  /// Test hook: SIGKILLs shard's worker process so the robustness paths
-  /// (Send failure, EOF instead of a drain reply) can be exercised.
+  /// Supervisor counters so far.
+  RecoveryStats recovery_stats() const;
+
+  /// True once `shard` exhausted its restart budget and degraded to lost.
+  bool shard_lost(size_t shard) const;
+
+  /// Test hook: SIGKILLs shard's worker process so the recovery paths
+  /// (Send failure, EOF instead of a drain reply) can be exercised at a
+  /// wall-clock instant. For a deterministic kill use KillWorkerAt.
   void KillWorkerForTest(size_t shard);
 
+  /// Deterministic crash injection: the next worker incarnation forked for
+  /// `shard` (initial worker first, then each replacement) _Exit(134)s the
+  /// first time one of its sessions is about to advance to virtual
+  /// timestamp `timestamp`. Events stack FIFO per shard — see
+  /// CrashPlan (engine/ipc.h); the MPN_CRASH_PLAN environment variable
+  /// ("shard:timestamp,...") prepends events at construction. Must be
+  /// called before Start (std::logic_error afterwards).
+  void KillWorkerAt(size_t shard, size_t timestamp);
+
  private:
+  /// Cluster-level per-timestamp totals (mirrors Scheduler::Slot).
+  struct SlotTotals {
+    uint64_t messages = 0;
+    uint64_t recomputes = 0;
+    double seconds = 0.0;
+  };
+
   struct Worker {
     pid_t pid = -1;
     IpcChannel channel;
     bool reaped = false;
+    /// Replacements forked for this shard so far.
+    size_t restarts = 0;
+    /// Restart budget exhausted: the shard is permanently degraded.
+    bool lost = false;
+    std::string lost_reason;
+    /// Shard-local indices below this are final (drained) sessions whose
+    /// results live in the coordinator snapshot; they are not re-admitted
+    /// to the current incarnation.
+    size_t restored_below = 0;
+    /// Shard-local session count at this shard's last successful drain —
+    /// everything below it was final then (Engine::Wait drains every
+    /// admitted session to completion).
+    size_t drained_through = 0;
+    /// Per-timestamp slot totals owned by dead incarnations' drained
+    /// history; the current incarnation's drain adds on top.
+    std::vector<SlotTotals> slot_base;
+    /// slot_base + the last successful drain's reported slots — this
+    /// shard's effective contribution to the cluster round stats.
+    std::vector<SlotTotals> last_slots;
   };
 
   /// One session's deterministic result fields plus observability marks,
@@ -143,30 +245,51 @@ class ClusterEngine {
     uint32_t po = 0;
     uint64_t mailbox_peak = 0;
     uint64_t stalls = 0;
+    uint64_t dropped = 0;
   };
 
-  /// Cluster-level per-timestamp totals (mirrors Scheduler::Slot).
-  struct SlotTotals {
-    uint64_t messages = 0;
-    uint64_t recomputes = 0;
-    double seconds = 0.0;
+  /// Coordinator-side snapshot of one session: everything needed to
+  /// re-admit it to a replacement worker, bit-identically.
+  struct SessionState {
+    WireBuffer admit_frame;            ///< full serialized kAdmit frame
+    std::vector<uint64_t> retire_ats;  ///< RetireSession timestamps, in order
   };
 
   void RequireStarted() const;
   void RequireServing() const;
-  /// A transport failure (dead or misbehaving worker) poisons the
-  /// cluster: replies may be out of phase with requests, so refreshed
-  /// results could silently be wrong. Every subsequent admit/retire/
-  /// drain throws; results from the last *successful* Wait stay
-  /// readable.
+  /// With recovery disabled (max_restarts = 0) or after a protocol
+  /// violation the cluster is poisoned: replies may be out of phase with
+  /// requests, so refreshed results could silently be wrong. Every
+  /// subsequent admit/retire/drain throws; results from the last
+  /// *successful* Wait stay readable.
   void RequireHealthy() const;
   const SessionResult& ResultChecked(uint32_t id) const;
-  /// Sends `frame` to `shard`, throwing std::runtime_error naming the
-  /// shard when the worker is gone.
-  void SendOrThrow(size_t shard, const WireBuffer& frame);
-  /// Receives one frame from `shard`; throws on EOF or a kWorkerError
-  /// reply, naming the shard (and quoting the worker's error).
-  std::vector<uint8_t> RecvOrThrow(size_t shard);
+  /// Shard-local session count (groups routed to `shard` so far).
+  size_t ShardSessionCount(size_t shard) const;
+  /// Forks one worker for `shard` (arming the next crash-plan event) and
+  /// installs its channel. Caller holds mu_.
+  void ForkWorker(size_t shard);
+  /// Replays the snapshot to shard's current incarnation: admit + retire
+  /// frames of every non-final session, ascending. Returns false when the
+  /// replacement died mid-replay (caller recovers again). Caller holds mu_.
+  bool ReplayShardSnapshot(size_t shard, bool count_stats);
+  /// Supervisor: reaps the dead worker and brings up a replayed
+  /// replacement. Throws (std::runtime_error) when the restart budget is
+  /// exhausted — marking the shard lost and naming its lost groups — or
+  /// when recovery is disabled (poison latch). Caller holds mu_.
+  void RecoverShard(size_t shard);
+  /// Marks `shard` lost and throws the per-shard degradation error.
+  [[noreturn]] void MarkShardLost(size_t shard);
+  /// Sends the drain frame to `shard`, recovering through worker deaths.
+  /// Returns false when the shard degraded to lost (error recorded in
+  /// lost_reason). Caller holds mu_.
+  bool SendDrainRecovering(size_t shard);
+  /// Receives + parses shard's drain reply into results_/last_slots,
+  /// recovering and re-draining through worker deaths. Returns false when
+  /// the shard degraded to lost. Caller holds mu_.
+  bool RecvDrainRecovering(size_t shard);
+  /// Parses one kDrainedOk payload. Throws on protocol violations.
+  void ParseDrainReply(size_t shard, const std::vector<uint8_t>& payload);
   /// Reaps shard's process if still outstanding (blocking, EINTR-safe).
   void Reap(size_t shard);
   /// Closes every channel and reaps every worker; SIGKILLs on `force`.
@@ -178,12 +301,16 @@ class ClusterEngine {
   mutable std::mutex mu_;
   bool started_ = false;
   bool stopped_ = false;
-  bool failed_ = false;  ///< transport failure latch (see RequireHealthy)
+  bool failed_ = false;  ///< poison latch (see RequireHealthy)
   uint32_t next_id_ = 0;
   std::vector<Worker> workers_;
-  /// (shard, frame) admissions/retirements queued before Start, flushed in
-  /// order right after the fork.
-  std::vector<std::pair<size_t, WireBuffer>> pending_;
+  /// Recovery snapshot, indexed by global session id (admit frame recorded
+  /// *before* the first send, so a replay can never miss a session).
+  std::vector<SessionState> snapshot_;
+  CrashPlan crash_plan_;
+  RecoveryStats stats_;
+  /// Last drained result per global id; persists across Waits so final
+  /// sessions on recovered (or lost) shards keep their results.
   std::vector<SessionResult> results_;
   EngineRoundStats round_stats_;
 };

@@ -49,6 +49,7 @@ Engine::Engine(const std::vector<Point>* pois, const RTree* tree,
   pool_ = std::make_unique<ThreadPool>(threads);
   executor_ = std::make_unique<PoolExecutor>(pool_.get());
   scheduler_ = std::make_shared<Scheduler>(pool_.get(), table_.get());
+  scheduler_->set_crash_at_timestamp(options_.crash_at_timestamp);
 }
 
 Engine::~Engine() {

@@ -58,6 +58,12 @@ struct EngineOptions {
   /// Shards of the session table (admission locks one shard, never the
   /// scheduling hot path).
   size_t table_shards = 16;
+  /// Crash-injection test hook: the process _Exit(134)s the first time any
+  /// session is about to advance to this virtual timestamp (deterministic
+  /// in virtual time). SIZE_MAX disables. Set by the cluster supervisor
+  /// when a KillWorkerAt / MPN_CRASH_PLAN event is armed for a worker
+  /// incarnation (engine/cluster.h); never use it in-process.
+  size_t crash_at_timestamp = static_cast<size_t>(-1);
 };
 
 /// Per-timestamp aggregates of one Engine run, built on util/stats. A
@@ -195,6 +201,12 @@ class Engine {
   }
   size_t session_stall_count(uint32_t id) const {
     return FindChecked(id)->session->stall_count();
+  }
+
+  /// Buffered updates session `id` dropped (and later force-recomputed)
+  /// under MailboxPolicy::kDropOldest (see GroupSession::dropped_count).
+  size_t session_dropped_count(uint32_t id) const {
+    return FindChecked(id)->session->dropped_count();
   }
 
   /// Wall-clock completion stamps of session `id`'s advances (seconds

@@ -112,8 +112,24 @@ void GroupSession::BufferAdvance() {
   AdvanceClients(t);
   mailbox_.emplace_back();
   CaptureSnapshot(t, &mailbox_.back());
+  ++materialized_;
   mailbox_peak_ = std::max(mailbox_peak_, mailbox_.size());
-  if (mailbox_.size() >= tuning_.mailbox_capacity) flight_saturated_ = true;
+  if (tuning_.mailbox_policy == MailboxPolicy::kDropOldest) {
+    if (materialized_ > tuning_.mailbox_capacity) {
+      // Drop the oldest payload, keeping its timestamp queued as a husk
+      // for the forced recompute at replay. Oldest materialized = first
+      // entry past the husk prefix ([husks...][materialized...]).
+      Snapshot& victim = mailbox_[mailbox_.size() - materialized_];
+      victim.locations.clear();
+      victim.locations.shrink_to_fit();
+      victim.hints.clear();
+      victim.hints.shrink_to_fit();
+      --materialized_;
+      ++dropped_count_;
+    }
+  } else if (mailbox_.size() >= tuning_.mailbox_capacity) {
+    flight_saturated_ = true;
+  }
   seconds_at_[t] += timer.ElapsedSeconds();
 }
 
@@ -158,9 +174,11 @@ void GroupSession::InstallResult(RecomputeOutcome outcome) {
   // A capacity-0 mailbox cannot buffer at all: every recomputation with
   // timestamps still ahead stalled the clock (deterministically). For
   // capacity >= 1 the stall was flagged by the BufferAdvance that filled
-  // the mailbox while this result was in flight.
-  if (flight_saturated_ ||
-      (tuning_.mailbox_capacity == 0 && !AdvancesExhausted())) {
+  // the mailbox while this result was in flight. kDropOldest never stalls
+  // — overflow drops payloads (dropped_count_) instead.
+  if (tuning_.mailbox_policy == MailboxPolicy::kBlock &&
+      (flight_saturated_ ||
+       (tuning_.mailbox_capacity == 0 && !AdvancesExhausted()))) {
     ++stall_count_;
   }
   flight_saturated_ = false;
@@ -194,10 +212,15 @@ GroupSession::Replay GroupSession::ReplayOne(Snapshot* snap) {
   if (mailbox_.empty()) return Replay::kEmpty;
   Timer timer;
   Snapshot entry = std::move(mailbox_.front());
+  // Empty locations = a kDropOldest husk (real payloads always have one
+  // location per group member, and groups are non-empty).
+  const bool dropped = entry.locations.empty();
   mailbox_.pop_front();
+  if (!dropped) --materialized_;
   // Retirement landed below an already-buffered timestamp (asap mode):
   // drop the update unchecked — the session is past its horizon.
   if (entry.t >= effective_horizon()) return Replay::kClean;
+  if (dropped) RematerializeSnapshot(&entry);
 
   bool violated = false;
   for (size_t i = 0; i < clients_.size(); ++i) {
@@ -215,6 +238,24 @@ GroupSession::Replay GroupSession::ReplayOne(Snapshot* snap) {
   if (options_.check_correctness) CheckInvariantAt(entry.locations);
   seconds_at_[entry.t] += timer.ElapsedSeconds();
   return Replay::kClean;
+}
+
+void GroupSession::RematerializeSnapshot(Snapshot* entry) const {
+  const size_t t = entry->t;
+  entry->locations.clear();
+  entry->hints.clear();
+  entry->locations.reserve(group_.size());
+  entry->hints.reserve(group_.size());
+  for (const Trajectory* traj : group_) {
+    // Fresh replica, default options — exactly how clients_ were built, so
+    // replaying timestamps 0..t reproduces the dropped capture bit-for-bit
+    // (location and learned motion hint are pure functions of the
+    // trajectory prefix).
+    MpnClient replica(traj);
+    for (size_t u = 0; u <= t; ++u) replica.Advance(u);
+    entry->locations.push_back(replica.location());
+    entry->hints.push_back(replica.Hint());
+  }
 }
 
 void GroupSession::CheckInvariantAt(

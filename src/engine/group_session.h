@@ -53,6 +53,22 @@
 
 namespace mpn {
 
+/// What a session does when a recomputation flight saturates its mailbox.
+enum class MailboxPolicy : uint8_t {
+  /// Stop advancing the virtual clock until the fresh regions arrive (the
+  /// original backpressure behaviour; counted in stall_count()).
+  kBlock = 0,
+  /// Keep advancing: drop the oldest buffered payload instead (its slot
+  /// stays queued as a timestamp-only husk) and *force-recompute* the
+  /// payload from the source trajectories when the husk is replayed. Every
+  /// timestamp is therefore still checked, in order, against the same
+  /// regions as under kBlock — results and digest are bit-identical; only
+  /// the wall-clock cost moves from the producer (stall) to the replayer
+  /// (rematerialization). Dropped-and-recomputed entries are counted in
+  /// dropped_count().
+  kDropOldest = 1,
+};
+
 /// Per-session knobs of the dynamic-admission API.
 struct SessionTuning {
   /// Multiplies the wall-clock cost of every recomputation by busy-waiting
@@ -64,8 +80,11 @@ struct SessionTuning {
   /// Settable later via Engine::RetireSession.
   size_t retire_at = std::numeric_limits<size_t>::max();
   /// Buffered location updates the session may accumulate while a
-  /// recomputation is in flight (0 = the session stalls instead).
+  /// recomputation is in flight (0 = the session stalls instead, or drops
+  /// every payload under kDropOldest).
   size_t mailbox_capacity = 16;
+  /// Backpressure policy once a recomputation flight saturates the mailbox.
+  MailboxPolicy mailbox_policy = MailboxPolicy::kBlock;
 };
 
 /// Single-group protocol state machine, driven by the engine's scheduler.
@@ -124,9 +143,13 @@ class GroupSession {
   bool MailboxEmpty() const { return mailbox_.empty(); }
 
   /// True while a recomputation is in flight and another location update
-  /// still fits the mailbox.
+  /// can land in the mailbox. Under kBlock a full mailbox stalls the
+  /// clock; under kDropOldest buffering never blocks (overflow drops the
+  /// oldest payload instead — see MailboxPolicy).
   bool CanBuffer() const {
-    return !AdvancesExhausted() && mailbox_.size() < tuning_.mailbox_capacity;
+    if (AdvancesExhausted()) return false;
+    if (tuning_.mailbox_policy == MailboxPolicy::kDropOldest) return true;
+    return mailbox_.size() < tuning_.mailbox_capacity;
   }
 
   /// True once every timestamp has been processed (the scheduler must also
@@ -188,6 +211,12 @@ class GroupSession {
   /// is wall-clock dependent. Observability only, excluded from digests.
   size_t stall_count() const { return stall_count_; }
 
+  /// Buffered payloads dropped (and later force-recomputed at replay)
+  /// under MailboxPolicy::kDropOldest. Wall-clock dependent for
+  /// capacity >= 1, deterministic at capacity 0. Observability only,
+  /// excluded from digests.
+  size_t dropped_count() const { return dropped_count_; }
+
   // --- per-timestamp traces (engine round stats + latency percentiles) ---
 
   /// Protocol messages attributed to timestamp t (step 1/2 at the
@@ -205,6 +234,12 @@ class GroupSession {
  private:
   void AdvanceClients(size_t t);
   void CaptureSnapshot(size_t t, Snapshot* snap) const;
+  /// kDropOldest forced recompute: rebuilds a dropped payload (locations +
+  /// motion hints at entry->t) by replaying fresh client replicas over the
+  /// source trajectories from timestamp 0 — bit-identical to the original
+  /// capture, because MpnClient is a pure function of its trajectory
+  /// prefix.
+  void RematerializeSnapshot(Snapshot* entry) const;
   /// Step 1/2 message accounting + update counters for a violation at t.
   void RecordViolation(size_t t);
   /// check_correctness mode: the last reported meeting point must still be
@@ -230,6 +265,11 @@ class GroupSession {
   std::deque<Snapshot> mailbox_;
   size_t mailbox_peak_ = 0;
   size_t stall_count_ = 0;
+  /// Mailbox entries still carrying their payload (kDropOldest husks
+  /// excluded). Always the newest entries: drops husk-ify oldest-first, so
+  /// the deque is [husks...][materialized...].
+  size_t materialized_ = 0;
+  size_t dropped_count_ = 0;
   /// The in-flight recomputation filled the mailbox; counted as one stall
   /// when its result installs.
   bool flight_saturated_ = false;

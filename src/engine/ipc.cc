@@ -5,6 +5,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <stdexcept>
 
@@ -86,6 +87,60 @@ std::string WireReader::GetString() {
   std::string s(reinterpret_cast<const char*>(data_ + off_), n);
   off_ += n;
   return s;
+}
+
+const size_t CrashPlan::kNoCrash = static_cast<size_t>(-1);
+
+size_t CrashPlan::Take(size_t shard) {
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (events[i].shard == shard) {
+      const size_t t = events[i].timestamp;
+      events.erase(events.begin() + static_cast<ptrdiff_t>(i));
+      return t;
+    }
+  }
+  return kNoCrash;
+}
+
+CrashPlan CrashPlan::Parse(const std::string& spec) {
+  CrashPlan plan;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    std::string tok = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    // Trim surrounding whitespace; empty tokens (trailing commas) are ok.
+    const size_t b = tok.find_first_not_of(" \t");
+    if (b == std::string::npos) continue;
+    const size_t e = tok.find_last_not_of(" \t");
+    tok = tok.substr(b, e - b + 1);
+    const size_t colon = tok.find(':');
+    if (colon == std::string::npos || colon == 0 || colon + 1 == tok.size()) {
+      throw std::runtime_error(
+          "mpn ipc: malformed crash plan entry (want shard:timestamp): " +
+          tok);
+    }
+    char* end = nullptr;
+    Event ev;
+    ev.shard = std::strtoull(tok.c_str(), &end, 10);
+    if (end != tok.c_str() + colon) {
+      throw std::runtime_error("mpn ipc: malformed crash plan shard: " + tok);
+    }
+    ev.timestamp = std::strtoull(tok.c_str() + colon + 1, &end, 10);
+    if (end != tok.c_str() + tok.size()) {
+      throw std::runtime_error("mpn ipc: malformed crash plan timestamp: " +
+                               tok);
+    }
+    plan.events.push_back(ev);
+  }
+  return plan;
+}
+
+CrashPlan CrashPlan::FromEnv() {
+  const char* env = std::getenv("MPN_CRASH_PLAN");
+  if (env == nullptr || *env == '\0') return CrashPlan();
+  return Parse(env);
 }
 
 IpcChannel& IpcChannel::operator=(IpcChannel&& other) noexcept {

@@ -63,6 +63,43 @@ class WireReader {
   size_t off_ = 0;
 };
 
+/// Deterministic crash-injection plan for the cluster's recovery paths
+/// (engine/cluster.h). Each event kills one worker incarnation the moment
+/// any of its sessions is about to advance to the given *virtual*
+/// timestamp — deterministic in virtual time, so tests, the lifecycle
+/// fuzzer and the bench recovery table can kill workers mid-drain
+/// reproducibly. Events are consumed FIFO per shard: the k-th event of a
+/// shard arms the k-th incarnation forked for it (initial worker first,
+/// then each replacement), so a plan with several events for one shard
+/// exercises repeated restarts and, past the retry budget, graceful
+/// degradation.
+struct CrashPlan {
+  struct Event {
+    size_t shard = 0;
+    size_t timestamp = 0;
+  };
+  std::vector<Event> events;
+
+  bool empty() const { return events.empty(); }
+
+  /// Pops the next planned crash timestamp for `shard`; returns
+  /// kNoCrash (SIZE_MAX, the "disabled" sentinel the engine uses) when
+  /// none is planned.
+  size_t Take(size_t shard);
+
+  /// Parses "shard:timestamp[,shard:timestamp...]" (spaces allowed around
+  /// tokens). Throws std::runtime_error on a malformed spec — a typo in a
+  /// crash plan must fail loudly, not silently disarm the fuzz run.
+  static CrashPlan Parse(const std::string& spec);
+
+  /// Reads the MPN_CRASH_PLAN environment variable (empty plan when unset
+  /// or empty).
+  static CrashPlan FromEnv();
+
+  /// The "no crash planned" sentinel returned by Take.
+  static const size_t kNoCrash;
+};
+
 /// One endpoint of a socketpair, speaking length-prefixed frames. Owns the
 /// file descriptor.
 class IpcChannel {

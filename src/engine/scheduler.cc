@@ -1,5 +1,6 @@
 #include "engine/scheduler.h"
 
+#include <cstdlib>
 #include <memory>
 #include <utility>
 
@@ -111,6 +112,13 @@ void Scheduler::FinalizeLocked(SessionRecord* r) {
 
 void Scheduler::RunEvent(SessionRecord* r) {
   GroupSession* s = r->session.get();
+  // Crash injection (see set_crash_at_timestamp): die without unwinding —
+  // the kernel closes the IPC pipe, which is exactly the failure signal a
+  // real worker crash produces. next_timestamp() only grows and is capped
+  // by the (finite) horizon, so the SIZE_MAX default can never trigger.
+  if (s->next_timestamp() >= crash_at_timestamp_ && !s->AdvancesExhausted()) {
+    std::_Exit(134);
+  }
   bool do_install = false;
   bool awaiting = false;
   GroupSession::RecomputeOutcome outcome;

@@ -50,6 +50,14 @@ class Scheduler {
   /// admitted so far. Sessions admitted later self-schedule via Admit.
   void Start();
 
+  /// Crash-injection test hook (cluster recovery harness): the process
+  /// calls std::_Exit the first time any session's event fires while that
+  /// session is about to advance to virtual timestamp >= `t` — a
+  /// deterministic-in-virtual-time worker death for EngineOptions::
+  /// crash_at_timestamp / MPN_CRASH_PLAN. Must be set before Start (no
+  /// synchronization). SIZE_MAX (the default) disables the hook.
+  void set_crash_at_timestamp(size_t t) { crash_at_timestamp_ = t; }
+
   /// True after Start().
   bool started() const { return started_.load(std::memory_order_acquire); }
 
@@ -102,6 +110,7 @@ class Scheduler {
   ThreadPool* pool_;
   SessionTable* table_;
   std::atomic<bool> started_{false};
+  size_t crash_at_timestamp_ = static_cast<size_t>(-1);
 
   std::mutex idle_mu_;
   std::condition_variable idle_cv_;

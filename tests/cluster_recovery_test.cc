@@ -1,0 +1,306 @@
+// Elastic recovery tests (ctest label `cluster`): the supervisor must
+// survive worker deaths at admission, mid-drain and between serving-loop
+// Waits with a ResultDigest() bit-identical to an uninterrupted
+// single-process Engine; bounded restarts must degrade gracefully to a
+// per-shard error naming the lost groups (never a hang); RecoveryStats
+// must account restarts, re-admissions and snapshot restores; and the
+// crash-injection plumbing (KillWorkerAt, MPN_CRASH_PLAN, CrashPlan)
+// must be deterministic in virtual time.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "engine/cluster.h"
+#include "engine/engine.h"
+#include "engine/ipc.h"
+#include "traj/generators.h"
+#include "util/rng.h"
+
+namespace mpn {
+namespace {
+
+const Rect kWorld({0, 0}, {20000, 20000});
+
+struct World {
+  std::vector<Point> pois;
+  RTree tree;
+  std::vector<Trajectory> trajs;
+};
+
+World MakeWorld(size_t n_pois, size_t n_groups, size_t timestamps,
+                uint64_t seed) {
+  World w;
+  Rng rng(seed);
+  PoiOptions popt;
+  popt.world = kWorld;
+  popt.clusters = 12;
+  w.pois = GeneratePois(n_pois, popt, &rng);
+  w.tree = RTree::BulkLoad(w.pois);
+  RandomWalkGenerator::Options wopt;
+  wopt.world = kWorld;
+  wopt.mean_speed = 60.0;
+  const RandomWalkGenerator gen(wopt);
+  w.trajs = gen.GenerateGroupedFleet(n_groups * 3, 3, 500.0, timestamps, &rng);
+  return w;
+}
+
+EngineOptions MakeEngineOptions(size_t threads) {
+  EngineOptions opt;
+  opt.threads = threads;
+  opt.sim.server.method = Method::kTileD;
+  opt.sim.server.alpha = 10;
+  return opt;
+}
+
+std::vector<const Trajectory*> GroupOf(const World& w, size_t g) {
+  return {&w.trajs[3 * g], &w.trajs[3 * g + 1], &w.trajs[3 * g + 2]};
+}
+
+ClusterOptions MakeClusterOptions(size_t workers, size_t threads) {
+  ClusterOptions opt;
+  opt.workers = workers;
+  opt.engine = MakeEngineOptions(threads);
+  return opt;
+}
+
+// --- CrashPlan plumbing ------------------------------------------------------
+
+TEST(CrashPlanTest, ParsesShardTimestampPairsAndConsumesFifoPerShard) {
+  CrashPlan plan = CrashPlan::Parse(" 0:5, 1:10 ,0:7,");
+  ASSERT_EQ(plan.events.size(), 3u);
+  EXPECT_EQ(plan.Take(0), 5u);   // first event for shard 0
+  EXPECT_EQ(plan.Take(0), 7u);   // second incarnation's event
+  EXPECT_EQ(plan.Take(0), CrashPlan::kNoCrash);
+  EXPECT_EQ(plan.Take(1), 10u);
+  EXPECT_TRUE(plan.empty());
+
+  EXPECT_THROW(CrashPlan::Parse("5"), std::runtime_error);
+  EXPECT_THROW(CrashPlan::Parse("a:5"), std::runtime_error);
+  EXPECT_THROW(CrashPlan::Parse("0:5x"), std::runtime_error);
+  EXPECT_THROW(CrashPlan::Parse(":5"), std::runtime_error);
+  EXPECT_TRUE(CrashPlan::Parse("").empty());
+}
+
+// --- Digest bit-identity through recovery ------------------------------------
+
+TEST(ClusterRecoveryTest, KilledWorkerRecoversWithBitIdenticalDigest) {
+  const size_t kGroups = 6;
+  const World w = MakeWorld(250, kGroups, 100, 0xEC0001);
+  SessionTuning drop;
+  drop.mailbox_capacity = 1;
+  drop.mailbox_policy = MailboxPolicy::kDropOldest;
+  const auto tuning_of = [&](size_t g) {
+    return g == 2 ? drop : SessionTuning();
+  };
+
+  // Uninterrupted single-process reference (destroyed before any fork).
+  uint64_t ref_digest = 0;
+  double ref_messages_sum = 0.0, ref_recomputes_sum = 0.0;
+  size_t ref_rounds = 0;
+  {
+    Engine engine(&w.pois, &w.tree, MakeEngineOptions(2));
+    for (size_t g = 0; g < kGroups; ++g) {
+      engine.AdmitSession(GroupOf(w, g), tuning_of(g));
+    }
+    engine.Start();
+    engine.RetireSession(1, 30);
+    engine.Shutdown();
+    ref_digest = engine.ResultDigest();
+    ref_messages_sum = engine.round_stats().messages_per_round.Sum();
+    ref_recomputes_sum = engine.round_stats().recomputes_per_round.Sum();
+    ref_rounds = engine.round_stats().rounds;
+  }
+
+  // Kill each shard at admission (t = 0), mid-drain (t = 50) and near the
+  // end of the horizon (t = 97): the supervisor must fork a replacement,
+  // replay the snapshot (admits + the retirement) and land on exactly the
+  // uninterrupted digest and round-stat totals.
+  struct Kill {
+    size_t shard;
+    size_t timestamp;
+  };
+  for (const Kill kill : {Kill{0, 0}, Kill{1, 50}, Kill{0, 97}}) {
+    SCOPED_TRACE("kill shard " + std::to_string(kill.shard) + " at t=" +
+                 std::to_string(kill.timestamp));
+    ClusterEngine cluster(&w.pois, &w.tree, MakeClusterOptions(2, 2));
+    cluster.KillWorkerAt(kill.shard, kill.timestamp);
+    cluster.Start();
+    for (size_t g = 0; g < kGroups; ++g) {
+      cluster.AdmitSession(GroupOf(w, g), tuning_of(g));
+    }
+    cluster.RetireSession(1, 30);
+    cluster.Wait();
+    EXPECT_EQ(cluster.ResultDigest(), ref_digest);
+    EXPECT_EQ(cluster.round_stats().rounds, ref_rounds);
+    EXPECT_EQ(cluster.round_stats().messages_per_round.Sum(),
+              ref_messages_sum);
+    EXPECT_EQ(cluster.round_stats().recomputes_per_round.Sum(),
+              ref_recomputes_sum);
+    const ClusterEngine::RecoveryStats stats = cluster.recovery_stats();
+    EXPECT_EQ(stats.restarts, 1u);
+    EXPECT_EQ(stats.shards_lost, 0u);
+    // A t=0 kill can surface while admissions are still streaming, in
+    // which case the replay covers only the groups admitted so far; later
+    // kills always replay the shard's full census (3 of 6 groups).
+    EXPECT_GE(stats.sessions_readmitted, 2u);
+    EXPECT_LE(stats.sessions_readmitted, 3u);
+    EXPECT_EQ(stats.sessions_restored, 0u);  // nothing was drained yet
+    EXPECT_GE(stats.frames_replayed, stats.sessions_readmitted);
+    EXPECT_FALSE(cluster.shard_lost(kill.shard));
+    cluster.Shutdown();
+    EXPECT_EQ(cluster.ResultDigest(), ref_digest);  // frozen, still valid
+  }
+}
+
+TEST(ClusterRecoveryTest, KillBetweenWaitsRestoresFinalsFromSnapshot) {
+  const size_t kGroups = 6;
+  const World w = MakeWorld(250, kGroups, 90, 0xEC0002);
+
+  uint64_t ref_digest = 0;
+  double ref_messages_sum = 0.0, ref_recomputes_sum = 0.0;
+  {
+    Engine engine(&w.pois, &w.tree, MakeEngineOptions(2));
+    engine.Start();
+    for (size_t g = 0; g < 3; ++g) engine.AdmitSession(GroupOf(w, g));
+    engine.Wait();
+    for (size_t g = 3; g < kGroups; ++g) engine.AdmitSession(GroupOf(w, g));
+    engine.Shutdown();
+    ref_digest = engine.ResultDigest();
+    ref_messages_sum = engine.round_stats().messages_per_round.Sum();
+    ref_recomputes_sum = engine.round_stats().recomputes_per_round.Sum();
+  }
+
+  ClusterEngine cluster(&w.pois, &w.tree, MakeClusterOptions(2, 2));
+  cluster.Start();
+  for (size_t g = 0; g < 3; ++g) cluster.AdmitSession(GroupOf(w, g));
+  cluster.Wait();
+  const uint64_t wave1_updates = cluster.session_metrics(1).updates;
+
+  // Shard 1 dies between Waits. Its wave-1 session (global id 1) is final
+  // — the supervisor must restore it from the coordinator snapshot, not
+  // recompute it — while the wave-2 sessions (ids 3, 5) are re-admitted
+  // and recomputed on the replacement.
+  cluster.KillWorkerForTest(1);
+  for (size_t g = 3; g < kGroups; ++g) cluster.AdmitSession(GroupOf(w, g));
+  cluster.Wait();
+
+  EXPECT_EQ(cluster.ResultDigest(), ref_digest);
+  EXPECT_EQ(cluster.session_metrics(1).updates, wave1_updates);
+  // Round stats must re-aggregate to the uninterrupted totals: id 1's
+  // per-timestamp contribution comes from the dead incarnation's drained
+  // history (slot_base), ids 3/5's from the replacement's recomputation.
+  EXPECT_EQ(cluster.round_stats().messages_per_round.Sum(), ref_messages_sum);
+  EXPECT_EQ(cluster.round_stats().recomputes_per_round.Sum(),
+            ref_recomputes_sum);
+  const ClusterEngine::RecoveryStats stats = cluster.recovery_stats();
+  EXPECT_EQ(stats.restarts, 1u);
+  EXPECT_EQ(stats.sessions_restored, 1u);  // id 1, final as of wave 1
+  EXPECT_GE(stats.sessions_readmitted, 1u);
+  EXPECT_LE(stats.sessions_readmitted, 2u);
+  EXPECT_EQ(stats.shards_lost, 0u);
+  cluster.Shutdown();
+}
+
+// --- Graceful degradation ----------------------------------------------------
+
+TEST(ClusterRecoveryTest, ExhaustedRestartsDegradeToErrorNamingLostGroups) {
+  const size_t kGroups = 4;
+  const World w = MakeWorld(200, kGroups, 80, 0xEC0003);
+  ClusterOptions opt = MakeClusterOptions(2, 1);
+  opt.recovery.max_restarts = 1;
+  ClusterEngine cluster(&w.pois, &w.tree, opt);
+  // Two planned crashes on shard 1: the initial incarnation and its only
+  // allowed replacement both die, exhausting the budget.
+  cluster.KillWorkerAt(1, 10);
+  cluster.KillWorkerAt(1, 10);
+  cluster.Start();
+  for (size_t g = 0; g < kGroups; ++g) cluster.AdmitSession(GroupOf(w, g));
+  try {
+    cluster.Wait();
+    FAIL() << "Wait() must surface the degraded shard";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("shard 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("restart budget exhausted"), std::string::npos)
+        << what;
+    // The error must name the groups lost with the shard (global ids 1
+    // and 3 route to shard 1 of 2).
+    EXPECT_NE(what.find("groups lost: [1, 3]"), std::string::npos) << what;
+  }
+  EXPECT_TRUE(cluster.shard_lost(1));
+  EXPECT_FALSE(cluster.shard_lost(0));
+  const ClusterEngine::RecoveryStats stats = cluster.recovery_stats();
+  EXPECT_EQ(stats.restarts, 1u);
+  EXPECT_EQ(stats.shards_lost, 1u);
+
+  // Healthy shard 0 drained and stays fully readable.
+  EXPECT_EQ(cluster.session_metrics(0).timestamps, 80u);
+  EXPECT_EQ(cluster.session_metrics(2).timestamps, 80u);
+  EXPECT_TRUE(cluster.session_has_result(0));
+  // Lost sessions degrade to empty results instead of hanging or lying.
+  EXPECT_FALSE(cluster.session_has_result(1));
+
+  // Admissions keep working for healthy shards (id 4 -> shard 0) and
+  // throw the shard's degradation error for the lost one (id 5 -> 1).
+  EXPECT_NO_THROW(cluster.AdmitSession(GroupOf(w, 0)));
+  try {
+    cluster.AdmitSession(GroupOf(w, 1));
+    FAIL() << "admission to a lost shard must throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("shard 1"), std::string::npos);
+  }
+  // Every later drain re-reports the degradation (no silent staleness),
+  // while still refreshing the healthy shards — and never hangs
+  // (implicitly checked by the ctest timeout).
+  EXPECT_THROW(cluster.Wait(), std::runtime_error);
+  EXPECT_EQ(cluster.session_metrics(4).timestamps, 80u);
+  EXPECT_THROW(cluster.Shutdown(), std::runtime_error);  // still graceful
+}
+
+// --- Env-driven crash plan + quiescent stats ---------------------------------
+
+TEST(ClusterRecoveryTest, EnvCrashPlanArmsTheSameDeterministicKill) {
+  const World w = MakeWorld(200, 2, 60, 0xEC0004);
+  uint64_t ref_digest = 0;
+  {
+    Engine engine(&w.pois, &w.tree, MakeEngineOptions(1));
+    engine.AdmitSession(GroupOf(w, 0));
+    engine.AdmitSession(GroupOf(w, 1));
+    engine.Run();
+    ref_digest = engine.ResultDigest();
+  }
+
+  setenv("MPN_CRASH_PLAN", "0:20", /*overwrite=*/1);
+  ClusterEngine cluster(&w.pois, &w.tree, MakeClusterOptions(2, 1));
+  unsetenv("MPN_CRASH_PLAN");  // consumed by the constructor
+  cluster.AdmitSession(GroupOf(w, 0));
+  cluster.AdmitSession(GroupOf(w, 1));
+  cluster.Run();
+  EXPECT_EQ(cluster.ResultDigest(), ref_digest);
+  EXPECT_EQ(cluster.recovery_stats().restarts, 1u);
+}
+
+TEST(ClusterRecoveryTest, UninterruptedRunReportsZeroRecoveryStats) {
+  const World w = MakeWorld(200, 2, 50, 0xEC0005);
+  ClusterEngine cluster(&w.pois, &w.tree, MakeClusterOptions(2, 1));
+  cluster.AdmitSession(GroupOf(w, 0));
+  cluster.AdmitSession(GroupOf(w, 1));
+  cluster.Start();
+  EXPECT_THROW(cluster.KillWorkerAt(0, 10), std::logic_error);  // post-Start
+  cluster.Shutdown();
+  const ClusterEngine::RecoveryStats stats = cluster.recovery_stats();
+  EXPECT_EQ(stats.restarts, 0u);
+  EXPECT_EQ(stats.sessions_readmitted, 0u);
+  EXPECT_EQ(stats.sessions_restored, 0u);
+  EXPECT_EQ(stats.frames_replayed, 0u);
+  EXPECT_EQ(stats.shards_lost, 0u);
+  EXPECT_EQ(stats.recovery_seconds, 0.0);
+  EXPECT_FALSE(cluster.shard_lost(0));
+  EXPECT_FALSE(cluster.shard_lost(1));
+}
+
+}  // namespace
+}  // namespace mpn

@@ -226,10 +226,20 @@ TEST(ClusterTest, ShipsDeterministicCapacityZeroStallCounts) {
 }
 
 // --- Death / robustness ------------------------------------------------------
+//
+// These tests pin the pre-elastic fail-stop contract, so they disable the
+// supervisor (max_restarts = 0). The recovery paths — restart, snapshot
+// replay, graceful degradation — are covered by cluster_recovery_test.cc.
+
+ClusterOptions FailStopOptions(size_t workers, size_t threads) {
+  ClusterOptions opt = MakeClusterOptions(workers, threads);
+  opt.recovery.max_restarts = 0;
+  return opt;
+}
 
 TEST(ClusterDeathTest, WorkerExitSurfacesCleanErrorWithShardId) {
   const World w = MakeWorld(200, 2, 60, 0xC10582);
-  ClusterEngine cluster(&w.pois, &w.tree, MakeClusterOptions(2, 1));
+  ClusterEngine cluster(&w.pois, &w.tree, FailStopOptions(2, 1));
   cluster.AdmitSession(GroupOf(w, 0));
   cluster.AdmitSession(GroupOf(w, 1));
   cluster.Start();
@@ -253,7 +263,7 @@ TEST(ClusterDeathTest, WorkerExitSurfacesCleanErrorWithShardId) {
 
 TEST(ClusterDeathTest, WorkerDeathBeforeAdmitFailsTheAdmit) {
   const World w = MakeWorld(150, 2, 40, 0xC10583);
-  ClusterEngine cluster(&w.pois, &w.tree, MakeClusterOptions(1, 1));
+  ClusterEngine cluster(&w.pois, &w.tree, FailStopOptions(1, 1));
   cluster.Start();
   cluster.KillWorkerForTest(0);
   // The send may land in the kernel buffer before the death is visible;

@@ -1,16 +1,19 @@
 // Deterministic lifecycle fuzzer (ctest label `unit`): seeded random
-// schedules of admit / retire / recompute-cost / mailbox-capacity churn,
-// replayed at 1/2/4 threads and at 1/2/4 process shards, asserting digest
-// bit-identity on every seed.
+// schedules of admit / retire / recompute-cost / mailbox-capacity /
+// mailbox-policy churn, replayed at 1/2/4 threads and at 1/2/4 process
+// shards — with seeded worker crashes injected into the cluster replays —
+// asserting digest bit-identity on every seed.
 //
 // Each seed derives (a) a small world and (b) a plan: sessions with random
-// tunings (mailbox capacity incl. 0, deterministic retire_at truncations,
-// wall-clock-only recompute padding), assigned to admission waves that are
-// drained by serving-loop Wait() calls, plus deterministic pre-start
-// RetireSession truncations. Every run admits in the same logical order,
-// so the digest must be bit-identical no matter how the work is scheduled
-// — across thread counts in one process and across worker processes in a
-// cluster.
+// tunings (mailbox capacity incl. 0, drop-oldest mailboxes, deterministic
+// retire_at truncations, wall-clock-only recompute padding), assigned to
+// admission waves that are drained by serving-loop Wait() calls, plus
+// deterministic pre-start RetireSession truncations and 0–2 crash events
+// (shard slot, virtual kill timestamp) armed via KillWorkerAt. Every run
+// admits in the same logical order, so the digest must be bit-identical no
+// matter how the work is scheduled — across thread counts in one process,
+// across worker processes in a cluster, and across supervised worker
+// deaths recovered by snapshot replay.
 //
 // The fixed seed list below is what ctest runs; set MPN_FUZZ_SEEDS to
 // widen locally (a count, e.g. MPN_FUZZ_SEEDS=32, or an explicit
@@ -53,6 +56,14 @@ struct PlannedSession {
   size_t prestart_retire_at = 0;
 };
 
+/// One planned worker death for the cluster replays: shard_slot folds onto
+/// the actual shard count (shard_slot % workers), the timestamp is the
+/// deterministic virtual kill point (ClusterEngine::KillWorkerAt).
+struct PlannedCrash {
+  size_t shard_slot = 0;
+  size_t timestamp = 0;
+};
+
 struct FuzzPlan {
   size_t waves = 1;
   size_t horizon = 0;
@@ -60,6 +71,7 @@ struct FuzzPlan {
   /// admissions in mid-run while earlier sessions are still draining.
   std::vector<uint8_t> drain_before;
   std::vector<PlannedSession> sessions;
+  std::vector<PlannedCrash> crashes;
 };
 
 World MakeFuzzWorld(Rng* rng, size_t n_groups, size_t group_size,
@@ -99,6 +111,11 @@ FuzzPlan MakeFuzzPlan(Rng* rng, size_t n_groups, size_t horizon) {
     s.tuning.mailbox_capacity =
         capacities[static_cast<size_t>(rng->UniformInt(0, 3))];
     if (rng->Bernoulli(0.3)) {
+      // Drop-oldest backpressure: overflowing payloads are dropped and
+      // force-recomputed at replay — a digest no-op by construction.
+      s.tuning.mailbox_policy = MailboxPolicy::kDropOldest;
+    }
+    if (rng->Bernoulli(0.3)) {
       // Deterministic retirement churn: truncated horizon at admission.
       s.tuning.retire_at = static_cast<size_t>(
           rng->UniformInt(0, static_cast<int64_t>(horizon)));
@@ -115,6 +132,14 @@ FuzzPlan MakeFuzzPlan(Rng* rng, size_t n_groups, size_t horizon) {
           rng->UniformInt(0, static_cast<int64_t>(horizon)));
     }
     plan.sessions.push_back(s);
+  }
+  const size_t n_crashes = static_cast<size_t>(rng->UniformInt(0, 2));
+  for (size_t i = 0; i < n_crashes; ++i) {
+    PlannedCrash crash;
+    crash.shard_slot = static_cast<size_t>(rng->UniformInt(0, 3));
+    crash.timestamp = static_cast<size_t>(
+        rng->UniformInt(0, static_cast<int64_t>(horizon)));
+    plan.crashes.push_back(crash);
   }
   return plan;
 }
@@ -174,7 +199,13 @@ uint64_t RunClusterPlan(const World& w, const FuzzPlan& plan, size_t workers,
   ClusterOptions opt;
   opt.workers = workers;
   opt.engine = MakeEngineOptions(threads);
+  // Both planned crashes can fold onto one shard (killing its replacement
+  // too); keep the budget above that so every seeded death recovers.
+  opt.recovery.max_restarts = 4;
   ClusterEngine cluster(&w.pois, &w.tree, opt);
+  for (const PlannedCrash& crash : plan.crashes) {
+    cluster.KillWorkerAt(crash.shard_slot % workers, crash.timestamp);
+  }
   return Replay(&cluster, w, plan);
 }
 
