@@ -27,6 +27,11 @@
 //     snapshot. The table reports the restart count, re-admitted session
 //     count and recovery wall-clock, and checks the digest is still
 //     bit-identical to the single-process engine.
+//  6. Kernel ablation: the same workload with the scalar reference
+//     verification kernel vs the SoA lane kernels (mpn/tile_msr.h
+//     KernelKind). The digests must be bit-identical — the kernels make
+//     the same decisions — and soa_speedup is the whole-engine win from
+//     batching the candidate scans.
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -47,6 +52,7 @@ struct RunResult {
   uint64_t digest = 0;
   double p50_ms = 0.0;      // per-session round-latency percentiles
   double p99_ms = 0.0;
+  uint64_t verify_calls = 0;  // total verifier invocations (deterministic)
 };
 
 /// Round latency of one session: gaps between consecutive advance
@@ -80,6 +86,7 @@ RunResult RunEngineOnce(const std::vector<Point>& pois, const RTree& tree,
       static_cast<double>(engine.TotalMetrics().timestamps);
   r.throughput = r.seconds > 0.0 ? rounds / r.seconds : 0.0;
   r.digest = engine.ResultDigest();
+  r.verify_calls = engine.TotalMetrics().msr.verify.calls;
   std::vector<double> gaps;
   for (uint32_t id = 0; id < n_groups; ++id) {
     AppendAdvanceGapsMs(engine, id, &gaps);
@@ -291,6 +298,41 @@ void RunRecoveryTable(const std::vector<Point>& pois, const RTree& tree,
   table.WriteCsv("fig_engine_scale_recovery.csv");
 }
 
+// Scalar vs SoA verification kernels over the full engine loop (single
+// thread so the ratio is a pure kernel comparison). The decision sequences
+// are bit-identical by construction, so the digests — which fold every
+// verify/candidate/index counter — must match; soa_speedup is the
+// wall-clock ratio scalar/soa.
+void RunKernelTable(const std::vector<Point>& pois, const RTree& tree,
+                    const std::vector<std::vector<const Trajectory*>>& groups,
+                    const std::vector<size_t>& group_counts,
+                    const ServerConfig& server) {
+  Table table({"groups", "scalar_seconds", "soa_seconds", "soa_speedup",
+               "verify_calls", "deterministic"});
+  ServerConfig scalar_cfg = server;
+  scalar_cfg.kernel = KernelKind::kScalar;
+  ServerConfig soa_cfg = server;
+  soa_cfg.kernel = KernelKind::kSoA;
+  for (size_t n_groups : group_counts) {
+    const RunResult rs =
+        RunEngineOnce(pois, tree, groups, n_groups, 1, false, scalar_cfg);
+    const RunResult rv =
+        RunEngineOnce(pois, tree, groups, n_groups, 1, false, soa_cfg);
+    const bool identical =
+        rs.digest == rv.digest && rs.verify_calls == rv.verify_calls;
+    table.AddRow({std::to_string(n_groups), FormatDouble(rs.seconds, 3),
+                  FormatDouble(rv.seconds, 3),
+                  FormatDouble(rv.seconds > 0.0 ? rs.seconds / rv.seconds
+                                                : 1.0,
+                               2),
+                  std::to_string(rv.verify_calls),
+                  identical ? "yes" : "NO"});
+  }
+  table.Print("Engine scale — scalar vs SoA verification kernels (Tile-D, "
+              "1 thread)");
+  table.WriteCsv("fig_engine_scale_kernels.csv");
+}
+
 void Run() {
   const BenchEnv env = GetBenchEnv();
 
@@ -336,6 +378,8 @@ void Run() {
                   {1, 2, 4}, server);
   RunRecoveryTable(pois, tree, groups, std::min<size_t>(16, max_groups),
                    timestamps, {2, 4}, server);
+  RunKernelTable(pois, tree, groups, {1, std::min<size_t>(16, max_groups)},
+                 server);
 
   // Per-user verification fan-out on one group: same results, candidate
   // scans spread across the pool. Buffered retrieval keeps candidate lists

@@ -54,13 +54,16 @@ void BM_CircleMsr(benchmark::State& state) {
 }
 
 void RunTileMsr(benchmark::State& state, bool directed, bool buffered,
-                Objective obj) {
+                Objective obj, KernelKind kernel = KernelKind::kSoA) {
   const auto& f = Fixture(static_cast<size_t>(state.range(0)));
+  MsrScratch scratch;
   TileMsrConfig config;
   config.alpha = 30;
   config.split_level = 2;
   config.directed = directed;
   config.buffered = buffered;
+  config.kernel = kernel;
+  config.scratch = &scratch;
   size_t i = 0;
   for (auto _ : state) {
     const size_t k = i++ % f.user_sets.size();
@@ -74,6 +77,11 @@ void BM_TileMsr(benchmark::State& state) {
 }
 void BM_TileDMsr(benchmark::State& state) {
   RunTileMsr(state, true, false, Objective::kMax);
+}
+// The scalar-kernel ablation of BM_TileDMsr: same computation through the
+// original AoS verification walk, for the before/after kernel comparison.
+void BM_TileDMsrScalar(benchmark::State& state) {
+  RunTileMsr(state, true, false, Objective::kMax, KernelKind::kScalar);
 }
 void BM_TileDbMsr(benchmark::State& state) {
   RunTileMsr(state, true, true, Objective::kMax);
@@ -104,6 +112,7 @@ void BM_EncodeDecodeRegion(benchmark::State& state) {
 BENCHMARK(BM_CircleMsr)->Arg(1000)->Arg(21287);
 BENCHMARK(BM_TileMsr)->Arg(1000)->Arg(21287)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_TileDMsr)->Arg(1000)->Arg(21287)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TileDMsrScalar)->Arg(21287)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_TileDbMsr)->Arg(1000)->Arg(21287)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SumTileDMsr)->Arg(21287)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SumTileDbMsr)->Arg(21287)->Unit(benchmark::kMillisecond);

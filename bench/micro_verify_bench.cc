@@ -1,6 +1,7 @@
 // Micro benchmarks for the verification layer: Lemma-1 Verify, GT-Verify vs
-// exhaustive IT-Verify (the Section-5.3 ablation), and the hyperbola
-// focal-difference minimization of Algorithm 6.
+// exhaustive IT-Verify (the Section-5.3 ablation), the scalar-vs-SoA
+// candidate-scan kernels (the tentpole >= 2x acceptance number), and the
+// hyperbola focal-difference minimization of Algorithm 6.
 #include <benchmark/benchmark.h>
 
 #include "bench_common.h"
@@ -9,6 +10,8 @@
 #include "mpn/tile_msr.h"
 #include "mpn/tile_verify.h"
 #include "mpn/verify.h"
+#include "util/arena.h"
+#include "util/macros.h"
 
 namespace mpn {
 namespace {
@@ -48,11 +51,30 @@ const VerifyFixture& Fixture(size_t tiles_per_user) {
                                         : r.tiles());
       if (f.regions.back().empty()) f.regions.back().Add(GridTile{0, 0, 0});
     }
-    const auto top = FindGnn(f.tree, f.users, Objective::kMax, 16);
+    const auto top = FindGnn(f.tree, f.users, Objective::kMax, 64);
     for (size_t i = 1; i < top.size(); ++i) {
       f.candidates.push_back({top[i].id, top[i].p});
     }
     f.probe_tile = f.regions[0].TileRect(GridTile{0, 2, 0});
+
+    // The scan benches below compare the scalar and SoA kernels; assert
+    // here, once per fixture, that they agree on every decision and
+    // produce identical counters (the bit-identity contract the
+    // differential tests enforce engine-wide).
+    MaxGtVerifier verifier;
+    Arena arena;
+    const TileLanes lanes = BuildTileLanes(f.regions, f.probe_tile, f.po,
+                                           &arena);
+    VerifyStats scalar_stats, soa_stats;
+    for (const Candidate& c : f.candidates) {
+      const bool a = verifier.VerifyTileThreadSafe(f.regions, 0, f.probe_tile,
+                                                   c, f.po, &scalar_stats);
+      const bool b = verifier.VerifyTileLanes(lanes, 0, f.probe_tile, c,
+                                              &soa_stats);
+      MPN_ASSERT_MSG(a == b, "scalar/SoA kernel decision divergence");
+    }
+    MPN_ASSERT(scalar_stats.calls == soa_stats.calls &&
+               scalar_stats.accepted == soa_stats.accepted);
   }
   return f;
 }
@@ -90,6 +112,48 @@ void BM_ItVerify(benchmark::State& state) {
   }
 }
 
+// One full candidate scan per iteration — the unit of work Divide-Verify
+// pays per probed tile — on the scalar AoS walk. No early exit so both
+// scan benches measure the same number of verifications.
+void BM_GtVerifyScanScalar(benchmark::State& state) {
+  const auto& f = Fixture(static_cast<size_t>(state.range(0)));
+  MaxGtVerifier verifier;
+  VerifyStats stats;
+  for (auto _ : state) {
+    bool all = true;
+    for (const Candidate& c : f.candidates) {
+      all &= verifier.VerifyTileThreadSafe(f.regions, 0, f.probe_tile, c,
+                                           f.po, &stats);
+    }
+    benchmark::DoNotOptimize(all);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(f.candidates.size()));
+}
+
+// The same scan through the batched SoA kernel: one snapshot build (which
+// hoists the candidate-independent ||po,t||_max lanes) plus one lane pass
+// per candidate. items/sec vs BM_GtVerifyScanScalar is the tentpole's
+// >= 2x acceptance ratio.
+void BM_GtVerifyScanSoA(benchmark::State& state) {
+  const auto& f = Fixture(static_cast<size_t>(state.range(0)));
+  MaxGtVerifier verifier;
+  Arena arena;
+  VerifyStats stats;
+  for (auto _ : state) {
+    arena.Reset();
+    const TileLanes lanes = BuildTileLanes(f.regions, f.probe_tile, f.po,
+                                           &arena);
+    bool all = true;
+    for (const Candidate& c : f.candidates) {
+      all &= verifier.VerifyTileLanes(lanes, 0, f.probe_tile, c, &stats);
+    }
+    benchmark::DoNotOptimize(all);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(f.candidates.size()));
+}
+
 void BM_SumHyperbolaVerify(benchmark::State& state) {
   const auto& f = Fixture(static_cast<size_t>(state.range(0)));
   SumHyperbolaVerifier verifier(f.po, f.regions.size());
@@ -121,6 +185,9 @@ void BM_MinFocalDiff(benchmark::State& state) {
 // combinatorially; GT stays near-linear in the total tile count.
 BENCHMARK(BM_GtVerify)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
 BENCHMARK(BM_ItVerify)->Arg(2)->Arg(4)->Arg(8);
+// Scalar vs SoA full-scan throughput — compare items/sec at equal Arg.
+BENCHMARK(BM_GtVerifyScanScalar)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+BENCHMARK(BM_GtVerifyScanSoA)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
 BENCHMARK(BM_SumHyperbolaVerify)->Arg(2)->Arg(8)->Arg(16);
 BENCHMARK(BM_VerifyLemma1);
 BENCHMARK(BM_MinFocalDiff);

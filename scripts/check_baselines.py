@@ -5,6 +5,7 @@ baseline and fails loudly on regression.
 Usage:
     scripts/run_benches.sh build               # writes bench-results/quick/
     scripts/check_baselines.py [quick|full] [--timing-tolerance PCT]
+        [--timing-table 'TABLEGLOB[:COLUMNGLOB]' ...]
 
 Comparison model (mirrors scripts/update_baselines.py):
   * Each CSV table's columns split into three classes:
@@ -16,6 +17,11 @@ Comparison model (mirrors scripts/update_baselines.py):
   * Rows are matched on their parameter values. Fresh rows with no
     baseline counterpart (e.g. extra thread counts on a bigger machine)
     are informational; baseline rows missing from the fresh run fail.
+  * --timing-table restricts which timing columns the tolerance applies
+    to: each spec is 'TABLEGLOB' or 'TABLEGLOB:COLUMNGLOB' (fnmatch), and
+    only matching columns are compared. This is how CI gates a
+    machine-robust ratio (fig_engine_scale_kernels:soa_speedup) without
+    failing on raw wall-clock columns that vary across hosts.
   * Any "deterministic" column valued other than "yes" fails outright.
   * A baseline table with no fresh counterpart fails (a bench silently
     disappearing is itself a regression).
@@ -24,6 +30,7 @@ Exit status: 0 clean, 1 regression, 2 usage/environment error.
 """
 import argparse
 import csv
+import fnmatch
 import json
 import sys
 from pathlib import Path
@@ -70,6 +77,23 @@ def load_results(results_dir):
     return tables
 
 
+def timing_gated(table, column, specs):
+    """True when --timing-table specs allow comparing this timing column.
+
+    With no specs, every timing column is compared. Each spec is
+    'TABLEGLOB' (all of the table's timing columns) or
+    'TABLEGLOB:COLUMNGLOB'.
+    """
+    if not specs:
+        return True
+    for spec in specs:
+        table_glob, _, column_glob = spec.partition(":")
+        if fnmatch.fnmatch(table, table_glob) and (
+                not column_glob or fnmatch.fnmatch(column, column_glob)):
+            return True
+    return False
+
+
 def close_enough(a, b, tolerance_pct):
     try:
         fa, fb = float(a), float(b)
@@ -89,6 +113,11 @@ def main() -> int:
         help="also compare timing columns, failing when a fresh value "
              "deviates more than PCT%% from the baseline (default: timing "
              "is reported but never fails — bench hosts differ)")
+    parser.add_argument(
+        "--timing-table", action="append", default=[], metavar="SPEC",
+        help="with --timing-tolerance, compare only timing columns matching "
+             "SPEC ('TABLEGLOB' or 'TABLEGLOB:COLUMNGLOB', fnmatch; "
+             "repeatable). Default: all timing columns.")
     parser.add_argument(
         "--results", type=Path, default=None,
         help="results directory (default: bench-results/<scale>)")
@@ -161,8 +190,11 @@ def main() -> int:
                         f"{name} {key}: counter '{columns[i]}' changed "
                         f"{base_row[i]} -> {fresh_row[i]}")
             for i in timings:
-                if args.timing_tolerance is not None and not close_enough(
-                        base_row[i], fresh_row[i], args.timing_tolerance):
+                if (args.timing_tolerance is not None
+                        and timing_gated(name, columns[i], args.timing_table)
+                        and not close_enough(
+                            base_row[i], fresh_row[i],
+                            args.timing_tolerance)):
                     failures.append(
                         f"{name} {key}: timing '{columns[i]}' moved "
                         f"{base_row[i]} -> {fresh_row[i]} "

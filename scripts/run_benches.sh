@@ -34,15 +34,18 @@ for bench in "${BUILD_DIR}"/bench/fig* "${BUILD_DIR}"/bench/ablation_bench; do
     | tee "${OUT_DIR}/${name}.txt"
 done
 
-# The CH micro bench feeds the perf baseline too (the >= 10x point-to-point
-# speedup criterion lives in its counters), so capture it as JSON when the
-# Google-Benchmark binaries were built.
-CH_BENCH="${BUILD_DIR}/bench/micro_ch_bench"
-if [[ -x "${CH_BENCH}" ]]; then
-  echo "== micro_ch_bench (MPN_BENCH_SCALE=${SCALE})"
-  (cd "${OUT_DIR}" && MPN_BENCH_SCALE="${SCALE}" "${CH_BENCH}" \
-      --benchmark_out=micro_ch_bench.json --benchmark_out_format=json) \
-    | tee "${OUT_DIR}/micro_ch_bench.txt"
-fi
+# The micro benches feed the perf baseline too — micro_ch_bench carries
+# the >= 10x point-to-point speedup criterion and micro_verify_bench the
+# scalar-vs-SoA verification-kernel throughput ratio — so capture every
+# Google-Benchmark binary as JSON; update_baselines.py folds the dumps
+# into the baseline's "micro" section automatically.
+for bench in "${BUILD_DIR}"/bench/micro_*_bench; do
+  [[ -x "${bench}" ]] || continue
+  name="$(basename "${bench}")"
+  echo "== ${name} (MPN_BENCH_SCALE=${SCALE})"
+  (cd "${OUT_DIR}" && MPN_BENCH_SCALE="${SCALE}" "${bench}" \
+      --benchmark_out="${name}.json" --benchmark_out_format=json) \
+    | tee "${OUT_DIR}/${name}.txt"
+done
 
 echo "Results written to ${OUT_DIR}/"

@@ -1,0 +1,82 @@
+// Branch-light distance kernels over contiguous coordinate lanes (SoA).
+//
+// The scalar predicates in geom/rect.h, geom/circle.h and geom/vec2.h are
+// called per (tile, candidate) pair in the tile-MSR verification loop; in
+// AoS form (vector<Rect>) each call strides through mixed coordinates and
+// the surrounding branches defeat autovectorization. These kernels take the
+// same formulas over structure-of-arrays lanes — one contiguous double
+// array per coordinate — so the compiler can turn them into packed
+// min/max/mul/sqrt instructions.
+//
+// Bit-identity contract: every kernel performs the exact IEEE-754 double
+// operations of its scalar counterpart per lane (std::max/std::min select
+// one of their operands; correctly-rounded sqrt is the same instruction),
+// so the outputs are bit-identical to calling the scalar predicate per
+// element, in any lane order. The *Reduce variants additionally exploit
+// that sqrt is monotone: min/max over sqrt(v_i) equals sqrt(min/max v_i),
+// so they reduce on squared distances and take one square root at the end
+// — still value-identical to the scalar fold they replace.
+#pragma once
+
+#include <cstddef>
+
+#include "geom/vec2.h"
+
+namespace mpn {
+
+/// A batch of axis-aligned rectangles in SoA layout. The four arrays are
+/// parallel and hold `n` lanes each; lane i is the rectangle
+/// [lo_x[i], hi_x[i]] x [lo_y[i], hi_y[i]].
+struct RectLanes {
+  const double* lo_x = nullptr;
+  const double* lo_y = nullptr;
+  const double* hi_x = nullptr;
+  const double* hi_y = nullptr;
+  size_t n = 0;
+};
+
+/// out[i] = ||p, rect_i||_min (Rect::MinDist per lane).
+void RectMinDistLanes(const RectLanes& r, const Point& p, double* out);
+
+/// out[i] = ||p, rect_i||_max (Rect::MaxDist per lane).
+void RectMaxDistLanes(const RectLanes& r, const Point& p, double* out);
+
+/// min_i ||p, rect_i||_min; +infinity when n == 0. Equals the fold
+/// min(Rect::MinDist) over the lanes.
+double RectMinDistReduce(const RectLanes& r, const Point& p);
+
+/// max_i ||p, rect_i||_max; 0 when n == 0 (distances are nonnegative, so 0
+/// is the identity the scalar folds start from). Equals the fold
+/// max(Rect::MaxDist) over the lanes.
+double RectMaxDistReduce(const RectLanes& r, const Point& p);
+
+/// Largest double t with std::sqrt(t) <= z, or -1.0 when no nonnegative t
+/// satisfies it (z < 0 or NaN). Moves sqrt comparisons into the squared
+/// domain exactly: for every double t >= 0,
+///     std::sqrt(t) <= z   <=>   t <= SqrtLeqThreshold(z).
+/// Correctly-rounded sqrt is monotone, so the satisfying set is downward
+/// closed; the implementation locates its exact upper end by probing a few
+/// neighbours of fl(z*z) with real sqrt calls — no rounding analysis, and
+/// the cost is a handful of scalar sqrts, paid once per threshold instead
+/// of once per lane.
+double SqrtLeqThreshold(double z);
+
+/// Strict variant: for every double t >= 0,
+///     std::sqrt(t) < y   <=>   t <= SqrtLtThreshold(y).
+double SqrtLtThreshold(double y);
+
+/// out[i] = squared distance from p to (xs[i], ys[i]) (Dist2 per lane).
+void PointDist2Lanes(const double* xs, const double* ys, size_t n,
+                     const Point& p, double* out);
+
+/// out[i] = ||p, circle_i||_min = max(dist(p, c_i) - r_i, 0)
+/// (Circle::MinDist per lane; centers in cx/cy, radii in rr).
+void CircleMinDistLanes(const double* cx, const double* cy, const double* rr,
+                        size_t n, const Point& p, double* out);
+
+/// out[i] = ||p, circle_i||_max = dist(p, c_i) + r_i (Circle::MaxDist per
+/// lane).
+void CircleMaxDistLanes(const double* cx, const double* cy, const double* rr,
+                        size_t n, const Point& p, double* out);
+
+}  // namespace mpn

@@ -12,10 +12,11 @@ namespace {
 
 // Maximum displacement of user j from her current location within her
 // region, including (for user_i) the tile under test: r_up in Theorems 3/6.
+// Runs the SoA lane reduction over the region's coordinate lanes;
+// value-identical to folding Rect::MaxDist tile by tile.
 double UserMaxDisplacement(const TileRegion& region, const Point& user,
                            const Rect* extra_tile) {
-  double r = 0.0;
-  for (const Rect& t : region.rects()) r = std::max(r, t.MaxDist(user));
+  double r = RectMaxDistReduce(region.lanes(), user);
   if (extra_tile != nullptr) r = std::max(r, extra_tile->MaxDist(user));
   return r;
 }
@@ -41,6 +42,8 @@ bool FreshCandidateSource::GetCandidates(
   const std::vector<Point>& users = *users_;
   const size_t m = users.size();
   MPN_DCHECK(regions.size() == m);
+  // Tight per-call delta on the calling thread (see node_accesses()).
+  const uint64_t accesses_before = tree_->node_accesses();
 
   if (!use_pruning_) {  // ablation baseline: every non-result POI
     tree_->Traverse([](const Rect&) { return true; },
@@ -48,13 +51,14 @@ bool FreshCandidateSource::GetCandidates(
                       if (id != po_id_) out->push_back({id, p});
                     });
     stats_.candidates_total += out->size();
+    node_accesses_ += tree_->node_accesses() - accesses_before;
     return true;
   }
 
   // Per-user displacement bounds r_up (tile s counts for user_i).
-  std::vector<double> r_up(m);
+  bound_.resize(m);
   for (size_t j = 0; j < m; ++j) {
-    r_up[j] =
+    bound_[j] =
         UserMaxDisplacement(regions[j], users[j], j == user_i ? &s : nullptr);
   }
 
@@ -64,26 +68,25 @@ bool FreshCandidateSource::GetCandidates(
     for (size_t j = 0; j < m; ++j) {
       if (!regions[j].empty()) top = std::max(top, regions[j].MaxDist(po_));
     }
-    std::vector<double> bound(m);
-    for (size_t j = 0; j < m; ++j) bound[j] = top + r_up[j];
+    for (size_t j = 0; j < m; ++j) bound_[j] = top + bound_[j];
     tree_->Traverse(
         [&](const Rect& mbr) {
           for (size_t j = 0; j < m; ++j) {
-            if (mbr.MinDist(users[j]) > bound[j]) return false;
+            if (mbr.MinDist(users[j]) > bound_[j]) return false;
           }
           return true;
         },
         [&](const Point& p, uint32_t id) {
           if (id == po_id_) return;
           for (size_t j = 0; j < m; ++j) {
-            if (Dist(p, users[j]) > bound[j]) return;
+            if (Dist(p, users[j]) > bound_[j]) return;
           }
           out->push_back({id, p});
         });
   } else {
     // Theorem 6: p survives iff ||p,U||_sum <= ||po,U||_sum + 2*sum_j r_up_j.
     double sum_r = 0.0;
-    for (size_t j = 0; j < m; ++j) sum_r += r_up[j];
+    for (size_t j = 0; j < m; ++j) sum_r += bound_[j];
     const double bound = AggDist(po_, users, Objective::kSum) + 2.0 * sum_r;
     tree_->Traverse(
         [&](const Rect& mbr) {
@@ -97,6 +100,7 @@ bool FreshCandidateSource::GetCandidates(
         });
   }
   stats_.candidates_total += out->size();
+  node_accesses_ += tree_->node_accesses() - accesses_before;
   return true;
 }
 

@@ -51,8 +51,17 @@ class CandidateSource {
 
   const CandidateStats& stats() const { return stats_; }
 
+  /// R-tree nodes touched by this source's own retrievals, accumulated as
+  /// tight per-call deltas on the calling thread. ComputeTileMsr sums this
+  /// with its setup-phase delta into MsrStats::rtree_node_accesses, so the
+  /// per-recompute total is robust against any unrelated index traffic a
+  /// pooled thread may run between setup and finish (the R-tree counter is
+  /// thread-local and shared across computations).
+  uint64_t node_accesses() const { return node_accesses_; }
+
  protected:
   CandidateStats stats_;
+  uint64_t node_accesses_ = 0;
 };
 
 /// Theorem 3 / Theorem 6 pruned retrieval from the R-tree on every call.
@@ -76,6 +85,9 @@ class FreshCandidateSource : public CandidateSource {
   uint32_t po_id_;
   Point po_;
   bool use_pruning_;
+  // Per-call scratch reused across retrievals (a source lives for one
+  // safe-region computation and is driven from one thread).
+  std::vector<double> bound_;
 };
 
 /// Theorem 4 / Theorem 7 buffered retrieval (Algorithm 5).

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "geom/circle.h"
+#include "geom/lanes.h"
 #include "geom/rect.h"
 #include "geom/vec2.h"
 #include "util/macros.h"
@@ -83,7 +84,12 @@ class TileRegion {
   /// construction (a spiral cell is added whole or via disjoint sub-tiles).
   void Add(const GridTile& t) {
     tiles_.push_back(t);
-    rects_.push_back(TileRect(t));
+    const Rect r = TileRect(t);
+    rects_.push_back(r);
+    lo_x_.push_back(r.lo.x);
+    lo_y_.push_back(r.lo.y);
+    hi_x_.push_back(r.hi.x);
+    hi_y_.push_back(r.hi.y);
   }
 
   /// Number of tiles.
@@ -97,6 +103,14 @@ class TileRegion {
   /// Cached geometric extents, parallel to tiles().
   const std::vector<Rect>& rects() const { return rects_; }
 
+  /// The same extents as SoA coordinate lanes (parallel to tiles()); the
+  /// batched verification kernels (geom/lanes.h, mpn/tile_verify.h) read
+  /// these directly.
+  RectLanes lanes() const {
+    return RectLanes{lo_x_.data(), lo_y_.data(), hi_x_.data(), hi_y_.data(),
+                     lo_x_.size()};
+  }
+
   /// True when `p` lies in some tile (closed containment).
   bool Contains(const Point& p) const {
     for (const Rect& r : rects_) {
@@ -105,26 +119,19 @@ class TileRegion {
     return false;
   }
 
-  /// ||p, R_i||_min = min over tiles of the rect min-distance.
+  /// ||p, R_i||_min = min over tiles of the rect min-distance. Runs the
+  /// branch-light lane reduction; value-identical to folding
+  /// Rect::MinDist over rects() (sqrt is monotone, min selects).
   double MinDist(const Point& p) const {
     MPN_DCHECK(!rects_.empty());
-    double d = rects_[0].MinDist(p);
-    for (size_t i = 1; i < rects_.size(); ++i) {
-      const double di = rects_[i].MinDist(p);
-      if (di < d) d = di;
-    }
-    return d;
+    return RectMinDistReduce(lanes(), p);
   }
 
-  /// ||p, R_i||_max = max over tiles of the rect max-distance.
+  /// ||p, R_i||_max = max over tiles of the rect max-distance (lane
+  /// reduction, value-identical to the scalar fold).
   double MaxDist(const Point& p) const {
     MPN_DCHECK(!rects_.empty());
-    double d = rects_[0].MaxDist(p);
-    for (size_t i = 1; i < rects_.size(); ++i) {
-      const double di = rects_[i].MaxDist(p);
-      if (di > d) d = di;
-    }
-    return d;
+    return RectMaxDistReduce(lanes(), p);
   }
 
   /// Bounding box of all tiles.
@@ -139,6 +146,8 @@ class TileRegion {
   double delta_ = 0.0;
   std::vector<GridTile> tiles_;
   std::vector<Rect> rects_;
+  // SoA coordinate lanes mirroring rects_ (see lanes()).
+  std::vector<double> lo_x_, lo_y_, hi_x_, hi_y_;
 };
 
 /// A safe region handed to a client: circle or tile set.

@@ -16,25 +16,41 @@ constexpr double kMaxDelta = 1e14;
 // Fans the candidate scan out over the executor in fixed-size chunks.
 // Every chunk early-exits on its first failure; chunk statistics merge into
 // the verifier in chunk order, so for a fixed grain the counters do not
-// depend on how many workers ran the chunks.
+// depend on how many workers ran the chunks. With `lanes` non-null the
+// chunks run the SoA kernel over the shared snapshot (read-only; workers
+// never touch the arena).
 bool ParallelVerifyScan(const std::vector<TileRegion>& regions, size_t user_i,
                         const Rect& rect,
                         const std::vector<Candidate>& candidates,
                         const Point& po, TileVerifier* verifier,
-                        const VerifyFanout& fanout) {
+                        const VerifyFanout& fanout, const TileLanes* lanes,
+                        VerifyStats* chunk_stats, uint8_t* chunk_ok,
+                        size_t chunk_count) {
   const size_t grain = fanout.grain < 1 ? 1 : fanout.grain;
-  const size_t chunk_count = (candidates.size() + grain - 1) / grain;
-  std::vector<VerifyStats> chunk_stats(chunk_count);
-  std::vector<uint8_t> chunk_ok(chunk_count, 1);
+  for (size_t c = 0; c < chunk_count; ++c) {
+    chunk_stats[c] = VerifyStats{};
+    chunk_ok[c] = 1;
+  }
   fanout.executor->Run(
       candidates.size(), grain, [&](size_t begin, size_t end) {
         const size_t chunk = begin / grain;
-        for (size_t k = begin; k < end; ++k) {
-          if (!verifier->VerifyTileThreadSafe(regions, user_i, rect,
-                                              candidates[k], po,
-                                              &chunk_stats[chunk])) {
-            chunk_ok[chunk] = 0;
-            break;
+        if (lanes != nullptr) {
+          for (size_t k = begin; k < end; ++k) {
+            if (!verifier->VerifyTileLanes(*lanes, user_i, rect,
+                                           candidates[k],
+                                           &chunk_stats[chunk])) {
+              chunk_ok[chunk] = 0;
+              break;
+            }
+          }
+        } else {
+          for (size_t k = begin; k < end; ++k) {
+            if (!verifier->VerifyTileThreadSafe(regions, user_i, rect,
+                                                candidates[k], po,
+                                                &chunk_stats[chunk])) {
+              chunk_ok[chunk] = 0;
+              break;
+            }
           }
         }
       });
@@ -46,23 +62,48 @@ bool ParallelVerifyScan(const std::vector<TileRegion>& regions, size_t user_i,
   return ok;
 }
 
-}  // namespace
-
-bool DivideVerify(std::vector<TileRegion>* regions, size_t user_i,
-                  const GridTile& tile, const Point& po,
-                  CandidateSource* source, TileVerifier* verifier, int level,
-                  MsrStats* stats, const VerifyFanout& fanout) {
+bool DivideVerifyImpl(std::vector<TileRegion>* regions, size_t user_i,
+                      const GridTile& tile, const Point& po,
+                      CandidateSource* source, TileVerifier* verifier,
+                      int level, MsrStats* stats, const VerifyFanout& fanout,
+                      KernelKind kernel, MsrScratch* scratch) {
   ++stats->divide_calls;
   TileRegion& region = (*regions)[user_i];
   const Rect rect = region.TileRect(tile);
 
-  std::vector<Candidate> candidates;
+  std::vector<Candidate>& candidates = scratch->candidates;
   bool ok = source->GetCandidates(*regions, user_i, rect, &candidates);
-  if (ok) {
-    if (fanout.executor != nullptr && verifier->parallel_safe() &&
-        candidates.size() >= fanout.min_candidates) {
+  if (ok && !candidates.empty()) {
+    const bool use_lanes =
+        kernel == KernelKind::kSoA && verifier->lanes_capable();
+    const bool use_fanout = fanout.executor != nullptr &&
+                            verifier->parallel_safe() &&
+                            candidates.size() >= fanout.min_candidates;
+    // The snapshot (and all fan-out scratch) lives until the scan ends; a
+    // recursion into sub-tiles only starts after that, so resetting here
+    // can never invalidate a live allocation.
+    Arena& arena = scratch->arena;
+    arena.Reset();
+    TileLanes lanes;
+    if (use_lanes) lanes = BuildTileLanes(*regions, rect, po, &arena);
+    if (use_fanout) {
+      const size_t grain = fanout.grain < 1 ? 1 : fanout.grain;
+      const size_t chunk_count = (candidates.size() + grain - 1) / grain;
+      auto* chunk_stats = arena.AllocateArray<VerifyStats>(chunk_count);
+      auto* chunk_ok = arena.AllocateArray<uint8_t>(chunk_count);
       ok = ParallelVerifyScan(*regions, user_i, rect, candidates, po,
-                              verifier, fanout);
+                              verifier, fanout, use_lanes ? &lanes : nullptr,
+                              chunk_stats, chunk_ok, chunk_count);
+    } else if (use_lanes) {
+      VerifyStats scan_stats;
+      for (const Candidate& c : candidates) {
+        if (!verifier->VerifyTileLanes(lanes, user_i, rect, c,
+                                       &scan_stats)) {
+          ok = false;
+          break;
+        }
+      }
+      verifier->MergeStats(scan_stats);
     } else {
       for (const Candidate& c : candidates) {
         if (!verifier->VerifyTile(*regions, user_i, rect, c, po)) {
@@ -84,12 +125,25 @@ bool DivideVerify(std::vector<TileRegion>* regions, size_t user_i,
   tile.Children(children);
   bool flag = false;
   for (const GridTile& child : children) {
-    if (DivideVerify(regions, user_i, child, po, source, verifier, level - 1,
-                     stats, fanout)) {
+    if (DivideVerifyImpl(regions, user_i, child, po, source, verifier,
+                         level - 1, stats, fanout, kernel, scratch)) {
       flag = true;
     }
   }
   return flag;
+}
+
+}  // namespace
+
+bool DivideVerify(std::vector<TileRegion>* regions, size_t user_i,
+                  const GridTile& tile, const Point& po,
+                  CandidateSource* source, TileVerifier* verifier, int level,
+                  MsrStats* stats, const VerifyFanout& fanout,
+                  KernelKind kernel, MsrScratch* scratch) {
+  MsrScratch local;
+  return DivideVerifyImpl(regions, user_i, tile, po, source, verifier, level,
+                          stats, fanout, kernel,
+                          scratch != nullptr ? scratch : &local);
 }
 
 MsrResult ComputeTileMsr(const RTree& tree, const std::vector<Point>& users,
@@ -101,11 +155,18 @@ MsrResult ComputeTileMsr(const RTree& tree, const std::vector<Point>& users,
   const size_t m = users.size();
 
   MsrResult out;
-  const uint64_t accesses_before = tree.node_accesses();
+  MsrScratch local_scratch;
+  MsrScratch* scratch =
+      config.scratch != nullptr ? config.scratch : &local_scratch;
 
   // Step 1 (Algorithm 3 line 1): optimum + maximal circle radius. In
   // buffered mode the best b+1 GNNs come from a single index pass and
-  // rmax == beta_1.
+  // rmax == beta_1. Index traffic is accounted per phase on the calling
+  // thread: the delta below covers this setup phase, and each candidate
+  // source accumulates its own traversal deltas (see
+  // CandidateSource::node_accesses) — so the total is a per-recompute sum
+  // that no fan-out worker can skew, whatever the thread count.
+  const uint64_t setup_before = tree.node_accesses();
   std::unique_ptr<CandidateSource> source;
   double rmax = 0.0;
   if (config.buffered) {
@@ -125,6 +186,7 @@ MsrResult ComputeTileMsr(const RTree& tree, const std::vector<Point>& users,
     source = std::make_unique<FreshCandidateSource>(
         &tree, &users, obj, out.po_id, out.po, config.index_pruning);
   }
+  const uint64_t setup_accesses = tree.node_accesses() - setup_before;
 
   // Degenerate radii: fall back to circles (radius-0 regions force an update
   // on any movement; unbounded regions never trigger one).
@@ -134,7 +196,7 @@ MsrResult ComputeTileMsr(const RTree& tree, const std::vector<Point>& users,
     for (const Point& u : users) {
       out.regions.push_back(SafeRegion::MakeCircle(Circle(u, rmax)));
     }
-    out.stats.rtree_node_accesses = tree.node_accesses() - accesses_before;
+    out.stats.rtree_node_accesses = setup_accesses + source->node_accesses();
     return out;
   }
 
@@ -185,9 +247,9 @@ MsrResult ComputeTileMsr(const RTree& tree, const std::vector<Point>& users,
           break;
         }
         ++out.stats.tiles_tried;
-        if (DivideVerify(&regions, i, *cell, out.po, source.get(),
-                         verifier.get(), config.split_level, &out.stats,
-                         config.fanout)) {
+        if (DivideVerifyImpl(&regions, i, *cell, out.po, source.get(),
+                             verifier.get(), config.split_level, &out.stats,
+                             config.fanout, config.kernel, scratch)) {
           orderings[i].MarkInserted();
           break;
         }
@@ -202,7 +264,7 @@ MsrResult ComputeTileMsr(const RTree& tree, const std::vector<Point>& users,
   }
   out.stats.verify = verifier->stats();
   out.stats.candidates = source->stats();
-  out.stats.rtree_node_accesses = tree.node_accesses() - accesses_before;
+  out.stats.rtree_node_accesses = setup_accesses + source->node_accesses();
   return out;
 }
 

@@ -15,6 +15,7 @@
 #include "mpn/safe_region.h"
 #include "mpn/tile_ordering.h"
 #include "mpn/tile_verify.h"
+#include "util/arena.h"
 
 namespace mpn {
 
@@ -22,6 +23,26 @@ namespace mpn {
 enum class VerifierKind {
   kGt,  ///< GT-Verify (Algorithm 4) / Sum hyperbola verify (Algorithm 6)
   kIt,  ///< exhaustive IT-Verify (MAX only; reference & ablation)
+};
+
+/// Inner-kernel selector for the candidate scan. Both kernels make the
+/// same decisions and produce the same counters bit-for-bit (asserted by
+/// the differential tests and the lifecycle fuzzer); kScalar exists as the
+/// reference for differential testing and ablation.
+enum class KernelKind {
+  kScalar,  ///< per-(tile, candidate) AoS walk over vector<Rect>
+  kSoA,     ///< batched SoA lane kernels (default; geom/lanes.h)
+};
+
+/// Reusable per-computation scratch: a bump arena for the SoA scan
+/// snapshots and fan-out chunk state, plus the candidate buffer. Owned by
+/// the caller (MpnServer keeps one per session) so steady-state recomputes
+/// perform no allocator traffic; ComputeTileMsr falls back to a local one
+/// when the config carries none. Not thread-safe — callers must serialize
+/// recomputes sharing a scratch (GroupSession already serializes its own).
+struct MsrScratch {
+  Arena arena;
+  std::vector<Candidate> candidates;
 };
 
 /// Abstract parallel executor for the per-user candidate fan-out inside
@@ -68,6 +89,13 @@ struct TileMsrConfig {
   /// Parallel per-user verification fan-out (engine integration; defaults
   /// to sequential).
   VerifyFanout fanout;
+  /// Candidate-scan kernel. kSoA batches the scan through the lane kernels
+  /// of geom/lanes.h; kScalar keeps the reference AoS walk selectable for
+  /// differential testing. Results are bit-identical either way.
+  KernelKind kernel = KernelKind::kSoA;
+  /// Optional caller-owned scratch (arena + candidate buffer) reused
+  /// across computations; null allocates per call.
+  MsrScratch* scratch = nullptr;
 };
 
 /// Per-computation statistics (drives the running-time/ablation benches).
@@ -100,11 +128,15 @@ struct MotionHint {
 /// Algorithm 2 (Divide-Verify), exposed for testing. Attempts to add grid
 /// tile `tile` (or sub-tiles down to `level` more splits) to
 /// (*regions)[user_i]. Returns true when at least one tile was inserted.
-/// `fanout` optionally parallelizes the candidate scan (see VerifyFanout).
+/// `fanout` optionally parallelizes the candidate scan (see VerifyFanout);
+/// `kernel` selects the scan kernel (SoA requires a lanes-capable
+/// verifier, otherwise the scalar walk runs); `scratch` may be null.
 bool DivideVerify(std::vector<TileRegion>* regions, size_t user_i,
                   const GridTile& tile, const Point& po,
                   CandidateSource* source, TileVerifier* verifier, int level,
-                  MsrStats* stats, const VerifyFanout& fanout = {});
+                  MsrStats* stats, const VerifyFanout& fanout = {},
+                  KernelKind kernel = KernelKind::kSoA,
+                  MsrScratch* scratch = nullptr);
 
 /// Algorithm 3 (Tile-MSR). `hints` may be empty (undirected behaviour) or
 /// one entry per user. Falls back to circular regions when the tile side

@@ -1,14 +1,131 @@
 #include "mpn/tile_verify.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "util/macros.h"
 
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
 namespace mpn {
 
 namespace {
+
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Per-user lane aggregates of the GT-Verify scan (see VerifyTileLanes).
+// All five are min/max selections over per-lane values, so any evaluation
+// order — including the two-accumulator SIMD split below — produces the
+// identical doubles.
+struct UserLaneAgg {
+  double maxmax_all = 0.0;   // max ||po,t||_max
+  double min_mx = kInf;      // min ||po,t||_max   (-> has_t)
+  double minmin_all2 = kInf; // min squared ||p,t||_min
+  double maxmax_s = 0.0;     // max ||po,t||_max over lanes with mn < d_p
+  double minmin_t2 = kInf;   // min squared ||p,t||_min over lanes mx < d_o
+};
+
+// Folds one scalar lane into the aggregates using the branch-free select
+// forms (identities: 0 for max over nonnegative distances, +inf for min).
+inline void FoldLane(double mn2, double mx, double d_o, double t_lt,
+                     UserLaneAgg* a) {
+  a->maxmax_all = std::max(a->maxmax_all, mx);
+  a->min_mx = std::min(a->min_mx, mx);
+  a->minmin_all2 = std::min(a->minmin_all2, mn2);
+  const bool below_do = mx < d_o;
+  const bool below_dp = mn2 <= t_lt;
+  a->maxmax_s = std::max(a->maxmax_s, below_dp ? mx : 0.0);
+  a->minmin_t2 = std::min(a->minmin_t2, below_do ? mn2 : kInf);
+}
+
+// Aggregates lanes [begin, end): squared Rect::MinDist per lane (the exact
+// IEEE square the scalar path feeds to sqrt) plus the five reductions. GCC
+// will not auto-vectorize floating min/max reductions without fast-math,
+// so the two-wide SSE2 form is written out by hand; maxpd/minpd/cmppd are
+// exact IEEE selections and compares, keeping every aggregate bit-identical
+// to the scalar loop (the fallback below and the tail share its code).
+inline UserLaneAgg AggregateUserLanes(const RectLanes& r,
+                                      const double* max_po, size_t begin,
+                                      size_t end, double px, double py,
+                                      double d_o, double t_lt) {
+  UserLaneAgg a;
+  size_t k = begin;
+#if defined(__SSE2__)
+  if (end - k >= 2) {
+    const __m128d vpx = _mm_set1_pd(px);
+    const __m128d vpy = _mm_set1_pd(py);
+    const __m128d vdo = _mm_set1_pd(d_o);
+    const __m128d vtl = _mm_set1_pd(t_lt);
+    const __m128d vzero = _mm_setzero_pd();
+    const __m128d vinf = _mm_set1_pd(kInf);
+    // Two accumulator sets (4 lanes per iteration) so the serial
+    // min/max latency chains overlap; accumulators merge with the same
+    // selection at the end, so the split cannot change any value.
+    __m128d maxmax_all = vzero, min_mx = vinf, minmin_all2 = vinf;
+    __m128d maxmax_s = vzero, minmin_t2 = vinf;
+    __m128d maxmax_all1 = vzero, min_mx1 = vinf, minmin_all21 = vinf;
+    __m128d maxmax_s1 = vzero, minmin_t21 = vinf;
+    const auto fold2 = [&](size_t at, __m128d* mm_all, __m128d* mn_mx,
+                           __m128d* mn_all2, __m128d* mm_s, __m128d* mn_t2) {
+      const __m128d dx = _mm_max_pd(
+          _mm_max_pd(_mm_sub_pd(_mm_loadu_pd(r.lo_x + at), vpx), vzero),
+          _mm_sub_pd(vpx, _mm_loadu_pd(r.hi_x + at)));
+      const __m128d dy = _mm_max_pd(
+          _mm_max_pd(_mm_sub_pd(_mm_loadu_pd(r.lo_y + at), vpy), vzero),
+          _mm_sub_pd(vpy, _mm_loadu_pd(r.hi_y + at)));
+      const __m128d mn2 =
+          _mm_add_pd(_mm_mul_pd(dx, dx), _mm_mul_pd(dy, dy));
+      const __m128d mx = _mm_loadu_pd(max_po + at);
+      *mm_all = _mm_max_pd(*mm_all, mx);
+      *mn_mx = _mm_min_pd(*mn_mx, mx);
+      *mn_all2 = _mm_min_pd(*mn_all2, mn2);
+      const __m128d below_dp = _mm_cmple_pd(mn2, vtl);
+      const __m128d below_do = _mm_cmplt_pd(mx, vdo);
+      // below_dp ? mx : 0.0 — the all-ones mask ANDs to mx, else +0.0.
+      *mm_s = _mm_max_pd(*mm_s, _mm_and_pd(below_dp, mx));
+      *mn_t2 = _mm_min_pd(
+          *mn_t2, _mm_or_pd(_mm_and_pd(below_do, mn2),
+                            _mm_andnot_pd(below_do, vinf)));
+    };
+    for (; k + 4 <= end; k += 4) {
+      fold2(k, &maxmax_all, &min_mx, &minmin_all2, &maxmax_s, &minmin_t2);
+      fold2(k + 2, &maxmax_all1, &min_mx1, &minmin_all21, &maxmax_s1,
+            &minmin_t21);
+    }
+    for (; k + 2 <= end; k += 2) {
+      fold2(k, &maxmax_all, &min_mx, &minmin_all2, &maxmax_s, &minmin_t2);
+    }
+    maxmax_all = _mm_max_pd(maxmax_all, maxmax_all1);
+    min_mx = _mm_min_pd(min_mx, min_mx1);
+    minmin_all2 = _mm_min_pd(minmin_all2, minmin_all21);
+    maxmax_s = _mm_max_pd(maxmax_s, maxmax_s1);
+    minmin_t2 = _mm_min_pd(minmin_t2, minmin_t21);
+    double lane2[2];
+    _mm_storeu_pd(lane2, maxmax_all);
+    a.maxmax_all = std::max(lane2[0], lane2[1]);
+    _mm_storeu_pd(lane2, min_mx);
+    a.min_mx = std::min(lane2[0], lane2[1]);
+    _mm_storeu_pd(lane2, minmin_all2);
+    a.minmin_all2 = std::min(lane2[0], lane2[1]);
+    _mm_storeu_pd(lane2, maxmax_s);
+    a.maxmax_s = std::max(lane2[0], lane2[1]);
+    _mm_storeu_pd(lane2, minmin_t2);
+    a.minmin_t2 = std::min(lane2[0], lane2[1]);
+  }
+#endif
+  for (; k < end; ++k) {
+    const double dx =
+        std::max(std::max(r.lo_x[k] - px, 0.0), px - r.hi_x[k]);
+    const double dy =
+        std::max(std::max(r.lo_y[k] - py, 0.0), py - r.hi_y[k]);
+    FoldLane(dx * dx + dy * dy, max_po[k], d_o, t_lt, &a);
+  }
+  return a;
+}
+
 }  // namespace
 
 bool TileVerifier::VerifyTileThreadSafe(const std::vector<TileRegion>& regions,
@@ -23,6 +140,53 @@ bool TileVerifier::VerifyTileThreadSafe(const std::vector<TileRegion>& regions,
   (void)stats;
   MPN_ASSERT_MSG(false, "VerifyTileThreadSafe on a sequential-only verifier");
   return false;
+}
+
+bool TileVerifier::VerifyTileLanes(const TileLanes& lanes, size_t user_i,
+                                   const Rect& s, const Candidate& cand,
+                                   VerifyStats* stats) const {
+  (void)lanes;
+  (void)user_i;
+  (void)s;
+  (void)cand;
+  (void)stats;
+  MPN_ASSERT_MSG(false, "VerifyTileLanes on a lanes-incapable verifier");
+  return false;
+}
+
+TileLanes BuildTileLanes(const std::vector<TileRegion>& regions, const Rect& s,
+                         const Point& po, Arena* arena) {
+  TileLanes out;
+  out.users = regions.size();
+  size_t* offset = arena->AllocateArray<size_t>(out.users + 1);
+  size_t total = 0;
+  for (size_t j = 0; j < out.users; ++j) {
+    offset[j] = total;
+    total += regions[j].size();
+  }
+  offset[out.users] = total;
+  out.total = total;
+  out.offset = offset;
+
+  double* lo_x = arena->AllocateArray<double>(total);
+  double* lo_y = arena->AllocateArray<double>(total);
+  double* hi_x = arena->AllocateArray<double>(total);
+  double* hi_y = arena->AllocateArray<double>(total);
+  for (size_t j = 0; j < out.users; ++j) {
+    const RectLanes src = regions[j].lanes();
+    std::copy(src.lo_x, src.lo_x + src.n, lo_x + offset[j]);
+    std::copy(src.lo_y, src.lo_y + src.n, lo_y + offset[j]);
+    std::copy(src.hi_x, src.hi_x + src.n, hi_x + offset[j]);
+    std::copy(src.hi_y, src.hi_y + src.n, hi_y + offset[j]);
+  }
+  out.rects = RectLanes{lo_x, lo_y, hi_x, hi_y, total};
+
+  // Candidate-independent halves of the GT predicates, hoisted per scan.
+  double* max_po = arena->AllocateArray<double>(total);
+  RectMaxDistLanes(out.rects, po, max_po);
+  out.max_po = max_po;
+  out.d_o = s.MaxDist(po);
+  return out;
 }
 
 // ---------------------------------------------------------------------------
@@ -127,6 +291,102 @@ bool MaxGtVerifier::VerifyTileThreadSafe(const std::vector<TileRegion>& regions,
     if (t.MaxDist(po) >= d_o && t.MinDist(p) <= d_p) {
       has_role_tile = true;
       break;
+    }
+  }
+  const bool case4 = has_role_tile || m_star <= std::max(d_p, n_star);
+  if (case4) ++stats->accepted;
+  return case4;
+}
+
+bool MaxGtVerifier::VerifyTileLanes(const TileLanes& lanes, size_t user_i,
+                                    const Rect& s, const Candidate& cand,
+                                    VerifyStats* stats) const {
+  // Decision-identical to VerifyTileThreadSafe, but the lane loop runs in
+  // the squared-distance domain with no per-lane sqrt or branch:
+  //  - mx = ||po,t||_max is hoisted into lanes.max_po at scan build (the
+  //    candidate-independent half of every GT predicate);
+  //  - mn2 below is the exact square the scalar path feeds to sqrt, so
+  //    mn < d_p becomes mn2 <= SqrtLtThreshold(d_p) (see lanes.h);
+  //  - every aggregate is a min/max selection, which commutes with the
+  //    monotone correctly-rounded sqrt, so folding squares and taking one
+  //    sqrt per user yields the identical double;
+  //  - the group-nonempty flags are derived from masked minima after the
+  //    loop: "some lane passes a <= threshold" iff "the masked min does";
+  //  - conditional updates become selects with fold identities (0 for max
+  //    over nonnegative distances, +inf for min).
+  ++stats->calls;
+  const double d_o = lanes.d_o;          // == s.MaxDist(po)
+  const double d_p = s.MinDist(cand.p);  // dominant min dist of the new tile
+  const double t_lt = SqrtLtThreshold(d_p);
+  const double px = cand.p.x, py = cand.p.y;
+
+  double full_top = d_o;
+  double full_bot = d_p;
+  double m_star = 0.0;
+  double n_star = 0.0;
+  bool any_dd_empty = false;
+  bool any_s_empty = false;
+  bool any_t_empty = false;
+  double case2_top = d_o;
+  double case3_bot = d_p;
+  bool has_other = false;
+
+  const size_t m = lanes.users;
+  for (size_t j = 0; j < m; ++j) {
+    if (j == user_i) continue;
+    has_other = true;
+    const size_t begin = lanes.offset[j];
+    const size_t end = lanes.offset[j + 1];
+    MPN_DCHECK(begin < end);
+    const UserLaneAgg agg = AggregateUserLanes(lanes.rects, lanes.max_po,
+                                               begin, end, px, py, d_o, t_lt);
+    const bool has_s = agg.minmin_all2 <= t_lt;   // some mn < d_p
+    const bool has_t = agg.min_mx < d_o;          // some mx < d_o
+    const bool has_dd = agg.minmin_t2 <= t_lt;    // some lane in both groups
+    const double minmin_all = std::sqrt(agg.minmin_all2);
+    const double minmin_t = std::sqrt(agg.minmin_t2);  // +inf stays +inf
+    full_top = std::max(full_top, agg.maxmax_all);
+    full_bot = std::max(full_bot, minmin_all);
+    m_star = std::max(m_star, agg.maxmax_all);
+    n_star = std::max(n_star, minmin_all);
+    any_dd_empty |= !has_dd;
+    any_s_empty |= !has_s;
+    any_t_empty |= !has_t;
+    if (has_s) case2_top = std::max(case2_top, agg.maxmax_s);
+    if (has_t) case3_bot = std::max(case3_bot, minmin_t);
+  }
+
+  if (!has_other) {
+    const bool ok = d_o <= d_p;
+    if (ok) ++stats->accepted;
+    return ok;
+  }
+
+  if (full_top <= full_bot) {
+    ++stats->accepted;
+    return true;
+  }
+
+  const bool case1 = any_dd_empty || d_o <= d_p;
+  const bool case2 = any_s_empty || case2_top <= d_p;
+  const bool case3 = any_t_empty || d_o <= case3_bot;
+  if (!case1 || !case2 || !case3) return false;
+
+  // Case 4 reads user_i's own lanes; the squared test mirrors the scalar
+  // t.MinDist(p) <= d_p via the non-strict threshold.
+  bool has_role_tile = false;
+  const double t_le = SqrtLeqThreshold(d_p);
+  const RectLanes& r = lanes.rects;
+  for (size_t k = lanes.offset[user_i]; k < lanes.offset[user_i + 1]; ++k) {
+    if (lanes.max_po[k] >= d_o) {
+      const double dx =
+          std::max(std::max(r.lo_x[k] - px, 0.0), px - r.hi_x[k]);
+      const double dy =
+          std::max(std::max(r.lo_y[k] - py, 0.0), py - r.hi_y[k]);
+      if (dx * dx + dy * dy <= t_le) {
+        has_role_tile = true;
+        break;
+      }
     }
   }
   const bool case4 = has_role_tile || m_star <= std::max(d_p, n_star);

@@ -60,6 +60,8 @@ MsrResult MpnServer::Recompute(const std::vector<Point>& locations,
     tc.directed = config_.method != Method::kTile;
     tc.buffered = config_.method == Method::kTileDBuffered;
     tc.fanout = config_.verify_fanout;
+    tc.kernel = config_.kernel;
+    tc.scratch = &scratch_;
     result = ComputeTileMsr(*tree_, locations, config_.objective, tc, hints);
   }
   compute_seconds_ += timer.ElapsedSeconds();

@@ -30,6 +30,9 @@ struct ServerConfig {
   /// Per-user verification fan-out; the engine installs its thread pool
   /// here (see engine/engine.h). Null executor = sequential.
   VerifyFanout verify_fanout;
+  /// Candidate-scan kernel (bit-identical either way; kScalar is the
+  /// reference path for differential testing — see mpn/tile_msr.h).
+  KernelKind kernel = KernelKind::kSoA;
 };
 
 /// The application server: owns nothing, computes safe regions on demand.
@@ -63,6 +66,12 @@ class MpnServer {
   double compute_seconds_ = 0.0;
   size_t recompute_count_ = 0;
   MsrStats stats_;
+  /// Arena + candidate buffer reused across Recompute calls, so a
+  /// steady-state recompute allocates nothing. Safe because a server
+  /// belongs to one session and the session serializes its recomputes
+  /// (engine/group_session.h); fan-out workers only read/write buffers the
+  /// recompute thread carved out of the arena.
+  MsrScratch scratch_;
 };
 
 }  // namespace mpn

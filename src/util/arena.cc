@@ -1,0 +1,76 @@
+#include "util/arena.h"
+
+#include <cstdlib>
+#include <new>
+
+#include "util/macros.h"
+
+namespace mpn {
+
+namespace {
+
+// Rounds `p` up to the next multiple of `align` (a power of two).
+inline char* AlignUp(char* p, size_t align) {
+  const uintptr_t u = reinterpret_cast<uintptr_t>(p);
+  return reinterpret_cast<char*>((u + align - 1) & ~(uintptr_t{align} - 1));
+}
+
+}  // namespace
+
+Arena::~Arena() {
+  Block* b = head_;
+  while (b != nullptr) {
+    Block* prev = b->prev;
+    ::operator delete(b);
+    b = prev;
+  }
+}
+
+void Arena::AddBlock(size_t min_bytes) {
+  size_t payload = next_block_bytes_;
+  while (payload < min_bytes) payload *= 2;
+  next_block_bytes_ = payload * 2;  // geometric growth caps block count
+  auto* block = static_cast<Block*>(
+      ::operator new(sizeof(Block) + payload + alignof(std::max_align_t)));
+  block->prev = head_;
+  block->size = payload;
+  head_ = block;
+  cursor_ = AlignUp(reinterpret_cast<char*>(block + 1),
+                    alignof(std::max_align_t));
+  limit_ = cursor_ + payload;
+  bytes_reserved_ += payload;
+}
+
+void* Arena::Allocate(size_t bytes, size_t align) {
+  MPN_DCHECK(align != 0 && (align & (align - 1)) == 0);
+  if (bytes == 0) bytes = 1;
+  char* p = head_ != nullptr ? AlignUp(cursor_, align) : nullptr;
+  if (p == nullptr || p + bytes > limit_) {
+    AddBlock(bytes + align);
+    p = AlignUp(cursor_, align);
+  }
+  cursor_ = p + bytes;
+  bytes_used_ += bytes;
+  return p;
+}
+
+void Arena::Reset() {
+  // Keep only the newest (largest, by geometric growth) block; the chain
+  // behind it existed only because the high-water mark was still rising.
+  if (head_ != nullptr) {
+    Block* b = head_->prev;
+    while (b != nullptr) {
+      Block* prev = b->prev;
+      bytes_reserved_ -= b->size;
+      ::operator delete(b);
+      b = prev;
+    }
+    head_->prev = nullptr;
+    cursor_ = AlignUp(reinterpret_cast<char*>(head_ + 1),
+                      alignof(std::max_align_t));
+    limit_ = cursor_ + head_->size;
+  }
+  bytes_used_ = 0;
+}
+
+}  // namespace mpn

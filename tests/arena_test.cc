@@ -1,0 +1,72 @@
+#include "util/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace mpn {
+namespace {
+
+TEST(ArenaTest, AllocationsAreDisjointAndWritable) {
+  Arena arena(256);
+  std::vector<int*> blocks;
+  for (int i = 0; i < 100; ++i) {
+    int* p = arena.AllocateArray<int>(17);
+    for (int j = 0; j < 17; ++j) p[j] = i;
+    blocks.push_back(p);
+  }
+  for (int i = 0; i < 100; ++i) {
+    for (int j = 0; j < 17; ++j) {
+      ASSERT_EQ(blocks[i][j], i) << "allocation " << i << " was clobbered";
+    }
+  }
+}
+
+TEST(ArenaTest, RespectsAlignment) {
+  Arena arena(64);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_EQ(reinterpret_cast<uintptr_t>(arena.Allocate(1)) %
+                  alignof(std::max_align_t),
+              0u);
+    ASSERT_EQ(reinterpret_cast<uintptr_t>(arena.Allocate(24, 16)) % 16, 0u);
+    ASSERT_EQ(reinterpret_cast<uintptr_t>(arena.AllocateArray<double>(3)) %
+                  alignof(double),
+              0u);
+  }
+}
+
+TEST(ArenaTest, GrowsPastInitialBlockAndTracksUsage) {
+  Arena arena(128);
+  EXPECT_EQ(arena.bytes_used(), 0u);
+  arena.AllocateArray<double>(1000);  // far past the 128-byte first block
+  EXPECT_GE(arena.bytes_used(), 1000 * sizeof(double));
+  EXPECT_GE(arena.bytes_reserved(), arena.bytes_used());
+}
+
+TEST(ArenaTest, ResetRetainsCapacityAndReusesMemory) {
+  Arena arena(64);
+  for (int round = 0; round < 8; ++round) {
+    double* p = arena.AllocateArray<double>(512);
+    std::memset(p, 0, 512 * sizeof(double));
+    arena.Reset();
+    EXPECT_EQ(arena.bytes_used(), 0u);
+  }
+  // After the first round the high-water block fits the whole allocation,
+  // so reserved capacity stabilizes instead of growing per round.
+  const size_t reserved = arena.bytes_reserved();
+  arena.AllocateArray<double>(512);
+  arena.Reset();
+  EXPECT_EQ(arena.bytes_reserved(), reserved);
+}
+
+TEST(ArenaTest, ZeroByteAllocationsYieldDistinctPointers) {
+  Arena arena;
+  void* a = arena.Allocate(0);
+  void* b = arena.Allocate(0);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace mpn

@@ -15,6 +15,9 @@
 // across worker processes in a cluster, and across supervised worker
 // deaths recovered by snapshot replay.
 //
+// The world/plan machinery is shared with kernel_differential_test.cc via
+// engine_fuzz_util.h.
+//
 // The fixed seed list below is what ctest runs; set MPN_FUZZ_SEEDS to
 // widen locally (a count, e.g. MPN_FUZZ_SEEDS=32, or an explicit
 // comma-separated list of seeds) and run the binary directly:
@@ -23,219 +26,21 @@
 // widened set is only addressable through the binary.)
 #include <gtest/gtest.h>
 
-#include <cstdio>
-#include <cstdlib>
-#include <cstring>
-#include <string>
-#include <vector>
-
-#include "engine/cluster.h"
-#include "engine/engine.h"
-#include "traj/generators.h"
-#include "util/rng.h"
+#include "engine_fuzz_util.h"
 
 namespace mpn {
 namespace {
 
-const Rect kWorld({0, 0}, {20000, 20000});
+using fuzz::FuzzPlan;
+using fuzz::MakeFuzzPlan;
+using fuzz::MakeFuzzWorld;
+using fuzz::RunClusterPlan;
+using fuzz::RunEnginePlan;
+using fuzz::World;
 
-struct World {
-  std::vector<Point> pois;
-  RTree tree;
-  std::vector<Trajectory> trajs;
-  size_t group_size = 0;
-};
-
-/// One planned session: which trajectories, which tuning, which admission
-/// wave, and an optional deterministic pre-start retirement.
-struct PlannedSession {
-  size_t group = 0;
-  SessionTuning tuning;
-  size_t wave = 0;
-  bool prestart_retire = false;
-  size_t prestart_retire_at = 0;
-};
-
-/// One planned worker death for the cluster replays: shard_slot folds onto
-/// the actual shard count (shard_slot % workers), the timestamp is the
-/// deterministic virtual kill point (ClusterEngine::KillWorkerAt).
-struct PlannedCrash {
-  size_t shard_slot = 0;
-  size_t timestamp = 0;
-};
-
-struct FuzzPlan {
-  size_t waves = 1;
-  size_t horizon = 0;
-  /// Per wave: drain (serving-loop Wait) before admitting it, or pour the
-  /// admissions in mid-run while earlier sessions are still draining.
-  std::vector<uint8_t> drain_before;
-  std::vector<PlannedSession> sessions;
-  std::vector<PlannedCrash> crashes;
-};
-
-World MakeFuzzWorld(Rng* rng, size_t n_groups, size_t group_size,
-                    size_t timestamps) {
-  World w;
-  w.group_size = group_size;
-  PoiOptions popt;
-  popt.world = kWorld;
-  popt.clusters = static_cast<size_t>(rng->UniformInt(4, 16));
-  w.pois = GeneratePois(static_cast<size_t>(rng->UniformInt(120, 280)), popt,
-                        rng);
-  w.tree = RTree::BulkLoad(w.pois);
-  RandomWalkGenerator::Options wopt;
-  wopt.world = kWorld;
-  wopt.mean_speed = rng->Uniform(30.0, 90.0);
-  const RandomWalkGenerator gen(wopt);
-  w.trajs = gen.GenerateGroupedFleet(n_groups * group_size, group_size,
-                                     rng->Uniform(300.0, 900.0), timestamps,
-                                     rng);
-  return w;
-}
-
-FuzzPlan MakeFuzzPlan(Rng* rng, size_t n_groups, size_t horizon) {
-  FuzzPlan plan;
-  plan.waves = static_cast<size_t>(rng->UniformInt(1, 3));
-  plan.horizon = horizon;
-  plan.drain_before.assign(plan.waves, 0);
-  for (size_t wave = 1; wave < plan.waves; ++wave) {
-    plan.drain_before[wave] = rng->Bernoulli(0.5) ? 1 : 0;
-  }
-  for (size_t g = 0; g < n_groups; ++g) {
-    PlannedSession s;
-    s.group = g;
-    s.wave = static_cast<size_t>(
-        rng->UniformInt(0, static_cast<int64_t>(plan.waves) - 1));
-    const size_t capacities[] = {0, 1, 2, 16};
-    s.tuning.mailbox_capacity =
-        capacities[static_cast<size_t>(rng->UniformInt(0, 3))];
-    if (rng->Bernoulli(0.3)) {
-      // Drop-oldest backpressure: overflowing payloads are dropped and
-      // force-recomputed at replay — a digest no-op by construction.
-      s.tuning.mailbox_policy = MailboxPolicy::kDropOldest;
-    }
-    if (rng->Bernoulli(0.3)) {
-      // Deterministic retirement churn: truncated horizon at admission.
-      s.tuning.retire_at = static_cast<size_t>(
-          rng->UniformInt(0, static_cast<int64_t>(horizon)));
-    }
-    if (rng->Bernoulli(0.25)) {
-      // Wall-clock-only straggler injection; must never move the digest.
-      s.tuning.recompute_cost_factor = rng->Uniform(1.5, 3.0);
-    }
-    if (s.wave == 0 && rng->Bernoulli(0.2)) {
-      // Retire through the API instead of the tuning — deterministic
-      // because it lands before Start.
-      s.prestart_retire = true;
-      s.prestart_retire_at = static_cast<size_t>(
-          rng->UniformInt(0, static_cast<int64_t>(horizon)));
-    }
-    plan.sessions.push_back(s);
-  }
-  const size_t n_crashes = static_cast<size_t>(rng->UniformInt(0, 2));
-  for (size_t i = 0; i < n_crashes; ++i) {
-    PlannedCrash crash;
-    crash.shard_slot = static_cast<size_t>(rng->UniformInt(0, 3));
-    crash.timestamp = static_cast<size_t>(
-        rng->UniformInt(0, static_cast<int64_t>(horizon)));
-    plan.crashes.push_back(crash);
-  }
-  return plan;
-}
-
-std::vector<const Trajectory*> GroupOf(const World& w, size_t g) {
-  std::vector<const Trajectory*> group;
-  for (size_t i = 0; i < w.group_size; ++i) {
-    group.push_back(&w.trajs[g * w.group_size + i]);
-  }
-  return group;
-}
-
-EngineOptions MakeEngineOptions(size_t threads) {
-  EngineOptions opt;
-  opt.threads = threads;
-  opt.sim.server.method = Method::kTileD;
-  opt.sim.server.alpha = 10;
-  return opt;
-}
-
-/// Replays the plan on `engine_like` (Engine or ClusterEngine share the
-/// lifecycle API): wave 0 before Start, later waves between serving-loop
-/// Wait() drains, Shutdown at the end. Admission order is the plan order
-/// within each wave, so the digest stream is identical across replays.
-template <typename EngineLike>
-uint64_t Replay(EngineLike* engine, const World& w, const FuzzPlan& plan) {
-  std::vector<uint32_t> ids(plan.sessions.size(), 0);
-  const auto admit_wave = [&](size_t wave) {
-    for (size_t i = 0; i < plan.sessions.size(); ++i) {
-      const PlannedSession& s = plan.sessions[i];
-      if (s.wave != wave) continue;
-      ids[i] = engine->AdmitSession(GroupOf(w, s.group), s.tuning);
-      if (s.prestart_retire) {
-        engine->RetireSession(ids[i], s.prestart_retire_at);
-      }
-    }
-  };
-  admit_wave(0);
-  engine->Start();
-  for (size_t wave = 1; wave < plan.waves; ++wave) {
-    // Either drain first (serving-loop rounds) or admit mid-run while
-    // earlier sessions are still going — the digest must not care.
-    if (plan.drain_before[wave] != 0) engine->Wait();
-    admit_wave(wave);
-  }
-  engine->Shutdown();
-  return engine->ResultDigest();
-}
-
-uint64_t RunEnginePlan(const World& w, const FuzzPlan& plan, size_t threads) {
-  Engine engine(&w.pois, &w.tree, MakeEngineOptions(threads));
-  return Replay(&engine, w, plan);
-}
-
-uint64_t RunClusterPlan(const World& w, const FuzzPlan& plan, size_t workers,
-                        size_t threads) {
-  ClusterOptions opt;
-  opt.workers = workers;
-  opt.engine = MakeEngineOptions(threads);
-  // Both planned crashes can fold onto one shard (killing its replacement
-  // too); keep the budget above that so every seeded death recovers.
-  opt.recovery.max_restarts = 4;
-  ClusterEngine cluster(&w.pois, &w.tree, opt);
-  for (const PlannedCrash& crash : plan.crashes) {
-    cluster.KillWorkerAt(crash.shard_slot % workers, crash.timestamp);
-  }
-  return Replay(&cluster, w, plan);
-}
-
-/// Seed list: the fixed ctest set, widened via MPN_FUZZ_SEEDS (a count or
-/// an explicit comma-separated list).
 std::vector<uint64_t> FuzzSeeds() {
-  std::vector<uint64_t> seeds = {0xF0221A01, 0xF0221A02, 0xF0221A03};
-  const char* env = std::getenv("MPN_FUZZ_SEEDS");
-  if (env == nullptr || *env == '\0') return seeds;
-  const std::string spec(env);
-  if (spec.find(',') != std::string::npos) {
-    seeds.clear();
-    size_t pos = 0;
-    while (pos < spec.size()) {
-      const size_t comma = spec.find(',', pos);
-      const std::string tok =
-          spec.substr(pos, comma == std::string::npos ? spec.npos
-                                                      : comma - pos);
-      if (!tok.empty()) seeds.push_back(std::strtoull(tok.c_str(), nullptr, 0));
-      if (comma == std::string::npos) break;
-      pos = comma + 1;
-    }
-    return seeds;
-  }
-  const unsigned long long count = std::strtoull(spec.c_str(), nullptr, 0);
-  seeds.clear();
-  for (unsigned long long i = 0; i < count; ++i) {
-    seeds.push_back(0xF0221A01ULL + i);
-  }
-  return seeds;
+  return fuzz::SeedsFromEnv("MPN_FUZZ_SEEDS",
+                            {0xF0221A01, 0xF0221A02, 0xF0221A03});
 }
 
 class EngineFuzzTest : public testing::TestWithParam<uint64_t> {};
@@ -262,15 +67,8 @@ TEST_P(EngineFuzzTest, DigestBitIdenticalAcrossThreadsAndShards) {
   }
 }
 
-std::string SeedName(const testing::TestParamInfo<uint64_t>& info) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "seed_%llx",
-                static_cast<unsigned long long>(info.param));
-  return buf;
-}
-
 INSTANTIATE_TEST_SUITE_P(Seeds, EngineFuzzTest,
-                         testing::ValuesIn(FuzzSeeds()), SeedName);
+                         testing::ValuesIn(FuzzSeeds()), fuzz::SeedName);
 
 }  // namespace
 }  // namespace mpn

@@ -1,0 +1,244 @@
+// Shared infrastructure for the seeded lifecycle replays: a deterministic
+// world + plan generator and replay drivers over Engine / ClusterEngine.
+// Used by engine_fuzz_test.cc (scheduling-invariance fuzzing) and
+// kernel_differential_test.cc (scalar vs SoA verification kernels); both
+// assert digest bit-identity over the same seed-derived plans.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/cluster.h"
+#include "engine/engine.h"
+#include "traj/generators.h"
+#include "util/rng.h"
+
+namespace mpn {
+namespace fuzz {
+
+inline const Rect kWorld({0, 0}, {20000, 20000});
+
+struct World {
+  std::vector<Point> pois;
+  RTree tree;
+  std::vector<Trajectory> trajs;
+  size_t group_size = 0;
+};
+
+/// One planned session: which trajectories, which tuning, which admission
+/// wave, and an optional deterministic pre-start retirement.
+struct PlannedSession {
+  size_t group = 0;
+  SessionTuning tuning;
+  size_t wave = 0;
+  bool prestart_retire = false;
+  size_t prestart_retire_at = 0;
+};
+
+/// One planned worker death for the cluster replays: shard_slot folds onto
+/// the actual shard count (shard_slot % workers), the timestamp is the
+/// deterministic virtual kill point (ClusterEngine::KillWorkerAt).
+struct PlannedCrash {
+  size_t shard_slot = 0;
+  size_t timestamp = 0;
+};
+
+struct FuzzPlan {
+  size_t waves = 1;
+  size_t horizon = 0;
+  /// Per wave: drain (serving-loop Wait) before admitting it, or pour the
+  /// admissions in mid-run while earlier sessions are still draining.
+  std::vector<uint8_t> drain_before;
+  std::vector<PlannedSession> sessions;
+  std::vector<PlannedCrash> crashes;
+};
+
+inline World MakeFuzzWorld(Rng* rng, size_t n_groups, size_t group_size,
+                           size_t timestamps) {
+  World w;
+  w.group_size = group_size;
+  PoiOptions popt;
+  popt.world = kWorld;
+  popt.clusters = static_cast<size_t>(rng->UniformInt(4, 16));
+  w.pois = GeneratePois(static_cast<size_t>(rng->UniformInt(120, 280)), popt,
+                        rng);
+  w.tree = RTree::BulkLoad(w.pois);
+  RandomWalkGenerator::Options wopt;
+  wopt.world = kWorld;
+  wopt.mean_speed = rng->Uniform(30.0, 90.0);
+  const RandomWalkGenerator gen(wopt);
+  w.trajs = gen.GenerateGroupedFleet(n_groups * group_size, group_size,
+                                     rng->Uniform(300.0, 900.0), timestamps,
+                                     rng);
+  return w;
+}
+
+inline FuzzPlan MakeFuzzPlan(Rng* rng, size_t n_groups, size_t horizon) {
+  FuzzPlan plan;
+  plan.waves = static_cast<size_t>(rng->UniformInt(1, 3));
+  plan.horizon = horizon;
+  plan.drain_before.assign(plan.waves, 0);
+  for (size_t wave = 1; wave < plan.waves; ++wave) {
+    plan.drain_before[wave] = rng->Bernoulli(0.5) ? 1 : 0;
+  }
+  for (size_t g = 0; g < n_groups; ++g) {
+    PlannedSession s;
+    s.group = g;
+    s.wave = static_cast<size_t>(
+        rng->UniformInt(0, static_cast<int64_t>(plan.waves) - 1));
+    const size_t capacities[] = {0, 1, 2, 16};
+    s.tuning.mailbox_capacity =
+        capacities[static_cast<size_t>(rng->UniformInt(0, 3))];
+    if (rng->Bernoulli(0.3)) {
+      // Drop-oldest backpressure: overflowing payloads are dropped and
+      // force-recomputed at replay — a digest no-op by construction.
+      s.tuning.mailbox_policy = MailboxPolicy::kDropOldest;
+    }
+    if (rng->Bernoulli(0.3)) {
+      // Deterministic retirement churn: truncated horizon at admission.
+      s.tuning.retire_at = static_cast<size_t>(
+          rng->UniformInt(0, static_cast<int64_t>(horizon)));
+    }
+    if (rng->Bernoulli(0.25)) {
+      // Wall-clock-only straggler injection; must never move the digest.
+      s.tuning.recompute_cost_factor = rng->Uniform(1.5, 3.0);
+    }
+    if (s.wave == 0 && rng->Bernoulli(0.2)) {
+      // Retire through the API instead of the tuning — deterministic
+      // because it lands before Start.
+      s.prestart_retire = true;
+      s.prestart_retire_at = static_cast<size_t>(
+          rng->UniformInt(0, static_cast<int64_t>(horizon)));
+    }
+    plan.sessions.push_back(s);
+  }
+  const size_t n_crashes = static_cast<size_t>(rng->UniformInt(0, 2));
+  for (size_t i = 0; i < n_crashes; ++i) {
+    PlannedCrash crash;
+    crash.shard_slot = static_cast<size_t>(rng->UniformInt(0, 3));
+    crash.timestamp = static_cast<size_t>(
+        rng->UniformInt(0, static_cast<int64_t>(horizon)));
+    plan.crashes.push_back(crash);
+  }
+  return plan;
+}
+
+inline std::vector<const Trajectory*> GroupOf(const World& w, size_t g) {
+  std::vector<const Trajectory*> group;
+  for (size_t i = 0; i < w.group_size; ++i) {
+    group.push_back(&w.trajs[g * w.group_size + i]);
+  }
+  return group;
+}
+
+inline EngineOptions MakeEngineOptions(
+    size_t threads, KernelKind kernel = KernelKind::kSoA,
+    bool parallel_verify = false) {
+  EngineOptions opt;
+  opt.threads = threads;
+  opt.parallel_verify = parallel_verify;
+  opt.sim.server.method = Method::kTileD;
+  opt.sim.server.alpha = 10;
+  opt.sim.server.kernel = kernel;
+  return opt;
+}
+
+/// Replays the plan on `engine` (Engine or ClusterEngine share the
+/// lifecycle API): wave 0 before Start, later waves between serving-loop
+/// Wait() drains, Shutdown at the end. Admission order is the plan order
+/// within each wave, so the digest stream is identical across replays.
+template <typename EngineLike>
+uint64_t Replay(EngineLike* engine, const World& w, const FuzzPlan& plan) {
+  std::vector<uint32_t> ids(plan.sessions.size(), 0);
+  const auto admit_wave = [&](size_t wave) {
+    for (size_t i = 0; i < plan.sessions.size(); ++i) {
+      const PlannedSession& s = plan.sessions[i];
+      if (s.wave != wave) continue;
+      ids[i] = engine->AdmitSession(GroupOf(w, s.group), s.tuning);
+      if (s.prestart_retire) {
+        engine->RetireSession(ids[i], s.prestart_retire_at);
+      }
+    }
+  };
+  admit_wave(0);
+  engine->Start();
+  for (size_t wave = 1; wave < plan.waves; ++wave) {
+    // Either drain first (serving-loop rounds) or admit mid-run while
+    // earlier sessions are still going — the digest must not care.
+    if (plan.drain_before[wave] != 0) engine->Wait();
+    admit_wave(wave);
+  }
+  engine->Shutdown();
+  return engine->ResultDigest();
+}
+
+inline uint64_t RunEnginePlan(const World& w, const FuzzPlan& plan,
+                              size_t threads,
+                              KernelKind kernel = KernelKind::kSoA,
+                              bool parallel_verify = false) {
+  Engine engine(&w.pois, &w.tree,
+                MakeEngineOptions(threads, kernel, parallel_verify));
+  return Replay(&engine, w, plan);
+}
+
+inline uint64_t RunClusterPlan(const World& w, const FuzzPlan& plan,
+                               size_t workers, size_t threads,
+                               KernelKind kernel = KernelKind::kSoA,
+                               bool with_crashes = true) {
+  ClusterOptions opt;
+  opt.workers = workers;
+  opt.engine = MakeEngineOptions(threads, kernel);
+  // Both planned crashes can fold onto one shard (killing its replacement
+  // too); keep the budget above that so every seeded death recovers.
+  opt.recovery.max_restarts = 4;
+  ClusterEngine cluster(&w.pois, &w.tree, opt);
+  if (with_crashes) {
+    for (const PlannedCrash& crash : plan.crashes) {
+      cluster.KillWorkerAt(crash.shard_slot % workers, crash.timestamp);
+    }
+  }
+  return Replay(&cluster, w, plan);
+}
+
+/// Seed list: `fallback` is the fixed ctest set, widened via the given
+/// environment variable (a count or an explicit comma-separated list).
+inline std::vector<uint64_t> SeedsFromEnv(const char* env_var,
+                                          std::vector<uint64_t> fallback) {
+  const char* env = std::getenv(env_var);
+  if (env == nullptr || *env == '\0') return fallback;
+  const std::string spec(env);
+  std::vector<uint64_t> seeds;
+  if (spec.find(',') != std::string::npos) {
+    size_t pos = 0;
+    while (pos < spec.size()) {
+      const size_t comma = spec.find(',', pos);
+      const std::string tok =
+          spec.substr(pos, comma == std::string::npos ? spec.npos
+                                                      : comma - pos);
+      if (!tok.empty()) seeds.push_back(std::strtoull(tok.c_str(), nullptr, 0));
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+    return seeds;
+  }
+  const unsigned long long count = std::strtoull(spec.c_str(), nullptr, 0);
+  for (unsigned long long i = 0; i < count; ++i) {
+    seeds.push_back(fallback.front() + i);
+  }
+  return seeds;
+}
+
+inline std::string SeedName(const testing::TestParamInfo<uint64_t>& info) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "seed_%llx",
+                static_cast<unsigned long long>(info.param));
+  return buf;
+}
+
+}  // namespace fuzz
+}  // namespace mpn

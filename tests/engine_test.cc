@@ -264,6 +264,24 @@ TEST(EngineTest, BitIdenticalAcrossThreadCountsWithParallelVerify) {
   EXPECT_EQ(RunEngine(w, 4, 4, true), d1);
 }
 
+TEST(EngineTest, NodeAccessCountersStableAcrossVerifyThreadCounts) {
+  // R-tree node accesses are accumulated from thread-local counters via
+  // tight per-call deltas (candidates.cc, tile_msr.cc). The fan-out must
+  // not leak or drop accesses no matter how chunks land on pooled worker
+  // threads, so the per-recompute totals — and hence the figure counters —
+  // are identical at every thread count.
+  const World w = MakeWorld(300, 4, 200, 0xACCE55);
+  SimMetrics base;
+  RunEngine(w, 4, 1, true, &base);
+  EXPECT_GT(base.msr.rtree_node_accesses, 0u);
+  for (size_t threads : {2u, 4u}) {
+    SimMetrics m;
+    RunEngine(w, 4, threads, true, &m);
+    EXPECT_EQ(m.msr.rtree_node_accesses, base.msr.rtree_node_accesses)
+        << "node-access counter drifted at " << threads << " threads";
+  }
+}
+
 TEST(EngineTest, ParallelVerifyPreservesProtocolBehavior) {
   // The fan-out changes only how candidate scans are scheduled, never which
   // tiles are accepted — so the protocol-visible results must match the

@@ -3,9 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <vector>
 
 #include "geom/circle.h"
 #include "geom/focal_diff.h"
+#include "geom/lanes.h"
 #include "geom/rect.h"
 #include "geom/vec2.h"
 #include "util/rng.h"
@@ -237,6 +240,134 @@ TEST(FocalDiffTest, BoundedByFocalDistance) {
     EXPECT_GE(v, -d - 1e-9);
     EXPECT_LE(v, d + 1e-9);
   }
+}
+
+// --- SoA lane kernels (geom/lanes.h) ---------------------------------------
+
+std::vector<Rect> RandomRects(Rng* rng, size_t n) {
+  std::vector<Rect> rects;
+  for (size_t i = 0; i < n; ++i) {
+    const Point lo{rng->Uniform(-50, 50), rng->Uniform(-50, 50)};
+    rects.push_back(
+        Rect(lo, {lo.x + rng->Uniform(0.0, 20), lo.y + rng->Uniform(0.0, 20)}));
+  }
+  return rects;
+}
+
+struct SoaRects {
+  std::vector<double> lo_x, lo_y, hi_x, hi_y;
+  RectLanes lanes() const {
+    return RectLanes{lo_x.data(), lo_y.data(), hi_x.data(), hi_y.data(),
+                     lo_x.size()};
+  }
+};
+
+SoaRects ToSoa(const std::vector<Rect>& rects) {
+  SoaRects s;
+  for (const Rect& r : rects) {
+    s.lo_x.push_back(r.lo.x);
+    s.lo_y.push_back(r.lo.y);
+    s.hi_x.push_back(r.hi.x);
+    s.hi_y.push_back(r.hi.y);
+  }
+  return s;
+}
+
+TEST(LanesTest, RectDistLanesBitIdenticalToScalarPredicates) {
+  Rng rng(0x1a9e5);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto rects = RandomRects(&rng, 1 + static_cast<size_t>(trial % 9));
+    const SoaRects soa = ToSoa(rects);
+    const Point p{rng.Uniform(-60, 60), rng.Uniform(-60, 60)};
+    std::vector<double> mn(rects.size()), mx(rects.size());
+    RectMinDistLanes(soa.lanes(), p, mn.data());
+    RectMaxDistLanes(soa.lanes(), p, mx.data());
+    double fold_min = std::numeric_limits<double>::infinity();
+    double fold_max = 0.0;
+    for (size_t i = 0; i < rects.size(); ++i) {
+      // Bit-identical, not approximately equal: the kernels must perform
+      // the exact IEEE operations of the scalar predicates.
+      ASSERT_EQ(mn[i], rects[i].MinDist(p)) << "lane " << i;
+      ASSERT_EQ(mx[i], rects[i].MaxDist(p)) << "lane " << i;
+      fold_min = std::min(fold_min, mn[i]);
+      fold_max = std::max(fold_max, mx[i]);
+    }
+    ASSERT_EQ(RectMinDistReduce(soa.lanes(), p), fold_min);
+    ASSERT_EQ(RectMaxDistReduce(soa.lanes(), p), fold_max);
+  }
+}
+
+TEST(LanesTest, ReduceIdentitiesOnEmptyInput) {
+  const RectLanes empty;
+  EXPECT_EQ(RectMinDistReduce(empty, {0, 0}),
+            std::numeric_limits<double>::infinity());
+  EXPECT_EQ(RectMaxDistReduce(empty, {0, 0}), 0.0);
+}
+
+TEST(LanesTest, CircleLanesMatchScalarCircle) {
+  Rng rng(0xC1AC1E);
+  const size_t n = 32;
+  std::vector<double> cx, cy, rr;
+  std::vector<Circle> circles;
+  for (size_t i = 0; i < n; ++i) {
+    const Point c{rng.Uniform(-50, 50), rng.Uniform(-50, 50)};
+    const double radius = rng.Uniform(0.1, 10.0);
+    circles.push_back({c, radius});
+    cx.push_back(c.x);
+    cy.push_back(c.y);
+    rr.push_back(radius);
+  }
+  const Point p{rng.Uniform(-60, 60), rng.Uniform(-60, 60)};
+  std::vector<double> mn(n), mx(n);
+  CircleMinDistLanes(cx.data(), cy.data(), rr.data(), n, p, mn.data());
+  CircleMaxDistLanes(cx.data(), cy.data(), rr.data(), n, p, mx.data());
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(mn[i], circles[i].MinDist(p));
+    ASSERT_EQ(mx[i], circles[i].MaxDist(p));
+  }
+}
+
+TEST(LanesTest, SqrtThresholdsMoveComparesToSquaredDomainExactly) {
+  // The defining property, checked exhaustively around the boundary: for
+  // every t >= 0, sqrt(t) <= z  <=>  t <= SqrtLeqThreshold(z), and
+  // sqrt(t) < y  <=>  t <= SqrtLtThreshold(y). Probing several ulps on
+  // both sides of each threshold covers exactly the near-tie squares where
+  // a naive t <= z*z compare goes wrong.
+  Rng rng(0x5157);
+  std::vector<double> values = {0.0, 1.0, 2.0, 1e-300, 1e300, 0.1};
+  for (int i = 0; i < 200; ++i) {
+    values.push_back(rng.Uniform(0.0, 1e6));
+    values.push_back(rng.Uniform(0.0, 1e-3));
+  }
+  for (const double z : values) {
+    const double t_le = SqrtLeqThreshold(z);
+    const double t_lt = SqrtLtThreshold(z);
+    double probe = t_le;
+    for (int step = 0; step < 4; ++step) {
+      if (probe >= 0.0) {
+        EXPECT_EQ(std::sqrt(probe) <= z, probe <= t_le) << "z=" << z;
+        EXPECT_EQ(std::sqrt(probe) < z, probe <= t_lt) << "z=" << z;
+      }
+      probe = std::nextafter(probe, 0.0);
+    }
+    probe = t_le;
+    for (int step = 0; step < 4; ++step) {
+      probe = std::nextafter(probe, std::numeric_limits<double>::infinity());
+      EXPECT_EQ(std::sqrt(probe) <= z, probe <= t_le) << "z=" << z;
+    }
+    probe = t_lt;
+    for (int step = 0; step < 4; ++step) {
+      probe = std::nextafter(probe, std::numeric_limits<double>::infinity());
+      EXPECT_EQ(std::sqrt(probe) < z, probe <= t_lt) << "z=" << z;
+    }
+  }
+  // Degenerate and boundary arguments.
+  EXPECT_EQ(SqrtLtThreshold(0.0), -1.0);    // sqrt(t) < 0 never holds
+  EXPECT_EQ(SqrtLeqThreshold(-1.0), -1.0);  // negative target: empty set
+  EXPECT_EQ(SqrtLeqThreshold(0.0), 0.0);    // only t == 0
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(SqrtLeqThreshold(inf), inf);
+  EXPECT_EQ(SqrtLtThreshold(inf), std::numeric_limits<double>::max());
 }
 
 TEST(FocalDiffTest, UpperBoundIsConservative) {

@@ -161,6 +161,56 @@ TEST(GtVerifyTest, AcceptedTilesAreSoundOnSampledInstances) {
   EXPECT_GT(accepted, 50u);  // the accepting branch must be exercised
 }
 
+TEST(GtVerifyTest, SoAKernelMatchesScalarOnRandomScenes) {
+  // The SoA lane kernel must make the bit-identical decision of the scalar
+  // AoS walk for every (regions, tile, candidate, po) — including the
+  // threshold-based squared-distance comparisons (see SqrtLtThreshold) and
+  // the near-tie geometries that rounding could otherwise flip.
+  Rng rng(0x50A);
+  size_t accepted = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    const size_t m = 1 + static_cast<size_t>(trial % 4);
+    std::vector<TileRegion> regions;
+    for (size_t i = 0; i < m; ++i) {
+      regions.emplace_back(Point{rng.Uniform(0, 60), rng.Uniform(0, 60)},
+                           rng.Uniform(1.0, 4.0));
+      const int tiles = static_cast<int>(rng.UniformInt(1, 6));
+      for (int t = 0; t < tiles; ++t) {
+        regions.back().Add(GridTile{static_cast<int32_t>(rng.UniformInt(0, 1)),
+                                    static_cast<int32_t>(rng.UniformInt(-3, 3)),
+                                    static_cast<int32_t>(rng.UniformInt(-3, 3))});
+      }
+    }
+    const Point po{rng.Uniform(0, 60), rng.Uniform(0, 60)};
+    const size_t ui = static_cast<size_t>(rng.UniformInt(0, m - 1));
+    const Rect s = regions[ui].TileRect(
+        GridTile{0, static_cast<int32_t>(rng.UniformInt(-4, 4)),
+                 static_cast<int32_t>(rng.UniformInt(-4, 4))});
+    MaxGtVerifier gt;
+    Arena arena;
+    const TileLanes lanes = BuildTileLanes(regions, s, po, &arena);
+    for (int c = 0; c < 24; ++c) {
+      Candidate cand{static_cast<uint32_t>(c), {}};
+      if (c % 3 == 0) {
+        // Exact-tie geometry: candidate at po (d_p relations degenerate).
+        cand.p = po;
+      } else {
+        cand.p = {rng.Uniform(0, 60), rng.Uniform(0, 60)};
+      }
+      VerifyStats scalar_stats, soa_stats;
+      const bool a =
+          gt.VerifyTileThreadSafe(regions, ui, s, cand, po, &scalar_stats);
+      const bool b = gt.VerifyTileLanes(lanes, ui, s, cand, &soa_stats);
+      ASSERT_EQ(a, b) << "kernel divergence (trial " << trial << ", cand "
+                      << c << ")";
+      ASSERT_EQ(scalar_stats.calls, soa_stats.calls);
+      ASSERT_EQ(scalar_stats.accepted, soa_stats.accepted);
+      if (a) ++accepted;
+    }
+  }
+  EXPECT_GT(accepted, 100u);  // both branches must be exercised
+}
+
 TEST(GtVerifyTest, StatsCountCallsAndAcceptances) {
   std::vector<TileRegion> regions;
   regions.push_back(RegionWith({0, 0}, 2.0, {{0, 0}}));
