@@ -22,11 +22,14 @@
 //     determinism guarantee); throughput shows what forked shards buy
 //     once real cores are available (the 1-core dev box shows none).
 //  5. Elastic recovery: one worker is killed mid-run (deterministic
-//     virtual-timestamp crash injection); the supervisor forks a
-//     replacement and re-admits the shard's groups from the coordinator
-//     snapshot. The table reports the restart count, re-admitted session
-//     count and recovery wall-clock, and checks the digest is still
-//     bit-identical to the single-process engine.
+//     virtual-timestamp crash injection) and one drain reply is corrupted
+//     in flight (deterministic transport fault injection, caught by the
+//     frame CRC). The supervisor forks replacements and re-admits each
+//     shard's groups from the coordinator snapshot. The table reports the
+//     restart count, re-admitted session count, the hardened-transport
+//     counters (crc_fail / hb_miss / deadline_hits) and recovery
+//     wall-clock, and checks the digest is still bit-identical to the
+//     single-process engine.
 //  6. Kernel ablation: the same workload with the scalar reference
 //     verification kernel vs the SoA lane kernels (mpn/tile_msr.h
 //     KernelKind). The digests must be bit-identical — the kernels make
@@ -269,32 +272,48 @@ void RunRecoveryTable(const std::vector<Point>& pois, const RTree& tree,
                                       server);
     ref_digest = r.digest;
   }
-  Table table({"shards", "groups", "kills", "restarts", "readmitted",
+  Table table({"shards", "groups", "kills", "faults", "restarts",
+               "readmitted", "crc_fail", "hb_miss", "deadline_hits",
                "seconds", "recover_ms", "deterministic"});
   for (size_t shards : shard_counts) {
     ClusterOptions opt;
     opt.workers = shards;
     opt.engine.threads = 1;
     opt.engine.sim.server = server;
+    // Generous liveness tuning: the bench asserts hb_miss stays exactly 0
+    // in the baseline diff, so a descheduled-but-healthy worker on a
+    // loaded CI box must never be mistaken for a hang.
+    opt.transport.heartbeat_timeout_ms = 2000;
+    opt.transport.heartbeat_miss_budget = 5;
     ClusterEngine cluster(&pois, &tree, opt);
     // One deterministic mid-run death on the last shard: the supervisor
     // forks a replacement and re-admits the shard's groups from the
     // coordinator snapshot.
     cluster.KillWorkerAt(shards - 1, timestamps / 2);
+    // Plus one transport fault on shard 0: its first drain reply is
+    // corrupted in flight. The frame-op index counts the shard's channel
+    // ops — n_groups/shards admit recvs, the drain recv, then the reply
+    // send — so the coordinator's CRC32 check trips exactly once
+    // (crc_fail), the shard restarts and the digest must not move.
+    cluster.InjectFaultAt(0, n_groups / shards + 1, FaultKind::kCorrupt);
     for (size_t g = 0; g < n_groups; ++g) cluster.AdmitSession(groups[g]);
     Timer timer;
     cluster.Run();
     const double seconds = timer.ElapsedSeconds();
     const ClusterEngine::RecoveryStats rs = cluster.recovery_stats();
-    table.AddRow({std::to_string(shards), std::to_string(n_groups), "1",
+    table.AddRow({std::to_string(shards), std::to_string(n_groups), "1", "1",
                   std::to_string(rs.restarts),
                   std::to_string(rs.sessions_readmitted),
+                  std::to_string(rs.checksum_failures),
+                  std::to_string(rs.heartbeat_misses),
+                  std::to_string(rs.deadline_hits),
                   FormatDouble(seconds, 3),
                   FormatDouble(rs.recovery_seconds * 1e3, 3),
                   cluster.ResultDigest() == ref_digest ? "yes" : "NO"});
   }
-  table.Print("Engine scale — elastic recovery (one worker killed mid-run; "
-              "digest vs single-process engine)");
+  table.Print("Engine scale — elastic recovery (one worker killed mid-run, "
+              "one drain reply corrupted in flight; digest vs "
+              "single-process engine)");
   table.WriteCsv("fig_engine_scale_recovery.csv");
 }
 

@@ -15,6 +15,12 @@
 // coordinator snapshot, and the final digest is still bit-identical —
 // supervised recovery is invisible in the results.
 //
+// The third act swaps the byte backend to loopback TCP and turns the
+// hardened transport loose: a drain reply corrupted in flight (caught by
+// the frame CRC) and a worker stalled mid-reply (caught by the heartbeat
+// miss budget). Both are SIGKILLed, recovered by snapshot replay, and the
+// digest is re-checked — still bit-identical.
+//
 // Build & run:  ./examples/cluster_demo
 #include <cstdio>
 
@@ -114,5 +120,51 @@ int main() {
   std::printf("digest after worker kill: %016llx — %s\n",
               static_cast<unsigned long long>(elastic.ResultDigest()),
               recovered_match ? "bit-identical" : "MISMATCH");
-  return match && recovered_match && rs.restarts == 1 ? 0 : 1;
+
+  // Act three: the hardened transport. Same workload again, but over
+  // loopback TCP with two transport faults injected at deterministic
+  // frame indices: worker 2's first drain reply is corrupted in flight
+  // (the coordinator's CRC32 check catches it) and worker 0 stalls
+  // mid-reply in the second serving round (the heartbeat miss budget
+  // catches that). Both workers are SIGKILLed and recovered by snapshot
+  // replay — and the digest still must not move.
+  ClusterOptions opt3 = opt;
+  opt3.transport.kind = TransportKind::kTcpLoopback;
+  opt3.transport.heartbeat_interval_ms = 100;
+  opt3.transport.heartbeat_timeout_ms = 500;
+  opt3.transport.heartbeat_miss_budget = 3;
+  opt3.recovery.max_restarts = 3;
+  ClusterEngine hardened(&pois, &tree, opt3);
+  // Frame-op indices on a worker's data channel count its recvs and sends
+  // together: worker 2 serves groups {2,5,8,11}, so ops 0-1 are the round-1
+  // admits and op 3 is its drain-reply send; worker 0 serves {0,3,6,9}, so
+  // after three admits, a drain and a round-2 admit its second drain-reply
+  // send is op 7.
+  hardened.InjectFaultAt(/*shard=*/2, /*frame=*/3, FaultKind::kCorrupt);
+  hardened.InjectFaultAt(/*shard=*/0, /*frame=*/7, FaultKind::kStall);
+  hardened.Start();
+  for (size_t g = 0; g < kUpfront; ++g) hardened.AdmitSession(groups[g]);
+  hardened.Wait();
+  for (size_t g = kUpfront; g < kGroups; ++g) {
+    SessionTuning tuning;
+    if (g == kGroups - 1) tuning.retire_at = 120;
+    hardened.AdmitSession(groups[g], tuning);
+  }
+  hardened.Shutdown();
+  const ClusterEngine::RecoveryStats hs = hardened.recovery_stats();
+  std::printf("hardened transport (loopback TCP): %zu restart(s), "
+              "%zu checksum failure(s), %zu heartbeat miss(es), "
+              "%zu deadline hit(s), %zu I/O retry(ies)\n",
+              hs.restarts, hs.checksum_failures, hs.heartbeat_misses,
+              hs.deadline_hits, hs.retries);
+  const bool hardened_match = hardened.ResultDigest() == engine.ResultDigest();
+  std::printf("digest after corrupt + stalled frames: %016llx — %s\n",
+              static_cast<unsigned long long>(hardened.ResultDigest()),
+              hardened_match ? "bit-identical" : "MISMATCH");
+  const bool faults_seen =
+      hs.restarts == 2 && hs.checksum_failures >= 1 && hs.heartbeat_misses >= 3;
+  return match && recovered_match && rs.restarts == 1 && hardened_match &&
+                 faults_seen
+             ? 0
+             : 1;
 }

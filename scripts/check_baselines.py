@@ -43,7 +43,7 @@ PARAM_COLUMNS = {
     "groups", "threads", "sessions", "straggler", "scenario", "method",
     "metric", "objective", "group size", "m", "n", "data size", "speed",
     "buffer", "alpha", "graph", "nodes", "scale", "rounds", "retired",
-    "shards", "kills",
+    "shards", "kills", "faults",
 }
 
 

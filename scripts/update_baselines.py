@@ -11,8 +11,10 @@ are deterministic and must match across machines for identical code;
 timing columns (seconds, cpu_ms, rounds/sec) are machine-dependent and are
 listed in "timing_columns" so diff tooling can treat them as informational.
 That split extends to the elastic-recovery table (fig_engine_scale_recovery):
-restart and re-admission counts are deterministic counters — crash
-injection fires on a virtual timestamp — while recover_ms is timing.
+restart and re-admission counts and the hardened-transport counters
+(crc_fail, hb_miss, deadline_hits) are deterministic — crash injection
+fires on a virtual timestamp and transport faults on a frame index —
+while recover_ms is timing.
 
 Google-Benchmark JSON dumps in the results tree (micro_ch_bench.json) are
 folded into a "micro" section: per-benchmark real time plus counters (the

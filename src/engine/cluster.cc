@@ -23,8 +23,10 @@ namespace mpn {
 namespace {
 
 /// Cluster protocol frame types (first payload byte). Coordinator ->
-/// worker: kAdmit, kRetire, kDrain, kShutdown. Worker -> coordinator:
-/// kDrainedOk, kShutdownAck, kWorkerError. See docs/ARCHITECTURE.md §5c.
+/// worker: kAdmit, kRetire, kDrain, kShutdown; kPing on the heartbeat
+/// channel. Worker -> coordinator: kDrainedOk, kShutdownAck,
+/// kWorkerError; kPong on the heartbeat channel. See
+/// docs/ARCHITECTURE.md §5c-§5d.
 enum FrameType : uint8_t {
   kAdmit = 1,
   kRetire = 2,
@@ -33,7 +35,24 @@ enum FrameType : uint8_t {
   kDrainedOk = 5,
   kShutdownAck = 6,
   kWorkerError = 7,
+  kPing = 8,
+  kPong = 9,
 };
+
+/// Byte offset of the SessionTuning::retire_at u64 inside a kAdmit frame
+/// (tag u8 + id u32 + recompute_cost_factor double). The snapshot replay
+/// patches this field in place — see ReplayShardSnapshot.
+constexpr size_t kAdmitRetireAtOffset = 1 + 4 + 8;
+
+uint64_t ReadAdmitRetireAt(const WireBuffer& frame) {
+  MPN_ASSERT(frame.size() >= kAdmitRetireAtOffset + 8);
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(frame.data()[kAdmitRetireAtOffset + i])
+         << (8 * i);
+  }
+  return v;
+}
 
 /// Serializes every SimMetrics field the digest and the result accessors
 /// consume. The double (server_seconds) travels as its bit pattern, so the
@@ -97,17 +116,54 @@ SimMetrics ReadMetrics(WireReader* r) {
 /// Retire frames carry *global* ids (a replacement worker's local ids
 /// restart from 0 while global ids do not), so the worker keeps the
 /// global->local map.
-int WorkerMain(IpcChannel* ch, const std::vector<Point>* pois,
-               const RTree* tree, const EngineOptions& options) {
+int WorkerMain(IpcChannel* ch, IpcChannel* hb,
+               const std::vector<Point>* pois, const RTree* tree,
+               const EngineOptions& options) {
   try {
     Engine engine(pois, tree, options);
     engine.Start();
+    // Heartbeat responder: a dedicated thread answers coordinator pings
+    // even while this (main) thread blocks inside Engine::Wait during a
+    // drain — so "busy recomputing" stays distinguishable from "hung".
+    // SIGSTOP freezes every thread of the process, this one included,
+    // which is exactly how a stopped worker fails its liveness probes.
+    // The RAII joiner half-closes the channel (waking the thread with
+    // EOF) and joins it on every exit path *before* `engine` is
+    // destroyed, so the thread can never touch a dead engine.
+    struct HeartbeatJoiner {
+      IpcChannel* hb;
+      std::thread thread;
+      ~HeartbeatJoiner() {
+        hb->ShutdownBoth();
+        if (thread.joinable()) thread.join();
+      }
+    } heartbeat{hb, std::thread([hb, &engine] {
+                  std::vector<uint8_t> ping;
+                  for (;;) {
+                    try {
+                      if (!hb->Recv(&ping)) return;
+                      WireReader r(ping);
+                      if (r.GetU8() != kPing) return;
+                      const uint64_t seq = r.GetU64();
+                      WireBuffer pong;
+                      pong.PutU8(kPong);
+                      pong.PutU64(seq);
+                      pong.PutU64(engine.events_processed());
+                      if (!hb->Send(pong)) return;
+                    } catch (const std::exception&) {
+                      return;  // torn ping: the coordinator gave up on us
+                    }
+                  }
+                })};
     // Owned backing store for deserialized trajectories: sessions keep
     // pointers into it, so entries must never move (deque).
     std::deque<std::vector<Trajectory>> storage;
     std::vector<uint32_t> global_ids;
     std::unordered_map<uint32_t, uint32_t> local_of;
     std::vector<uint8_t> payload;
+    // Transport retries already shipped in an earlier drain reply (the
+    // coordinator folds the per-drain delta into its RecoveryStats).
+    uint64_t reported_retries = 0;
     while (ch->Recv(&payload)) {
       WireReader r(payload);
       switch (r.GetU8()) {
@@ -172,6 +228,9 @@ int WorkerMain(IpcChannel* ch, const std::vector<Point>* pois,
             out.PutU64(slot.recomputes);
             out.PutDouble(slot.seconds);
           }
+          const uint64_t retries = ch->counters().retries;
+          out.PutU64(retries - reported_retries);
+          reported_retries = retries;
           if (!ch->Send(out)) return 1;
           break;
         }
@@ -209,9 +268,10 @@ ClusterEngine::ClusterEngine(const std::vector<Point>* pois, const RTree* tree,
   MPN_ASSERT(pois_ != nullptr && tree_ != nullptr);
   MPN_ASSERT_MSG(options_.workers >= 1, "cluster needs at least one worker");
   crash_plan_ = CrashPlan::FromEnv();
+  fault_plan_ = FaultPlan::FromEnv(options_.workers);
 }
 
-ClusterEngine::~ClusterEngine() { TeardownWorkers(/*force=*/false); }
+ClusterEngine::~ClusterEngine() { TeardownWorkers(); }
 
 void ClusterEngine::RequireStarted() const {
   if (!started_) {
@@ -272,7 +332,7 @@ uint32_t ClusterEngine::AdmitSession(
   SessionState state;
   state.admit_frame = std::move(frame);
   snapshot_.push_back(std::move(state));
-  if (started_ && !workers_[shard].channel.Send(snapshot_[id].admit_frame)) {
+  if (started_ && !SendToShard(shard, snapshot_[id].admit_frame)) {
     RecoverShard(shard);  // replay includes the new admit frame
   }
   return id;
@@ -299,19 +359,25 @@ void ClusterEngine::RetireSession(uint32_t id, size_t at_timestamp) {
   frame.PutU8(kRetire);
   frame.PutU32(id);
   frame.PutU64(static_cast<uint64_t>(at_timestamp));
-  if (!w->channel.Send(frame)) {
+  if (!SendToShard(shard, frame)) {
     RecoverShard(shard);  // replay includes the new retire frame
   }
 }
 
 void ClusterEngine::ForkWorker(size_t shard) {
   Worker& w = workers_[shard];
-  IpcChannel parent_end, child_end;
-  IpcChannel::MakePair(&parent_end, &child_end);
+  const TransportTuning& tt = options_.transport;
+  IpcChannel parent_end, child_end, hb_parent, hb_child;
+  IpcChannel::MakePair(tt.kind, &parent_end, &child_end);
+  IpcChannel::MakePair(tt.kind, &hb_parent, &hb_child);
   // Arm the next planned crash for this shard (FIFO per incarnation);
-  // CrashPlan::kNoCrash == the engine's "disabled" sentinel.
+  // CrashPlan::kNoCrash == the engine's "disabled" sentinel. Transport
+  // faults batch the same way: this incarnation gets the shard's events
+  // up to and including the first fatal one.
   EngineOptions engine_options = options_.engine;
   engine_options.crash_at_timestamp = crash_plan_.Take(shard);
+  const std::vector<FaultPlan::Event> faults =
+      fault_plan_.TakeIncarnation(shard);
   const pid_t pid = fork();
   if (pid < 0) {
     throw std::runtime_error("mpn cluster: fork failed");
@@ -319,17 +385,37 @@ void ClusterEngine::ForkWorker(size_t shard) {
   if (pid == 0) {
     // Worker process. Drop every coordinator-side fd so a dead sibling
     // (or a closing coordinator) reliably surfaces as EOF, then serve.
+    // Faults arm on the worker's end of the data channel: its frame-op
+    // sequence (admit receives, drain receive, reply send, ...) is
+    // deterministic because the serving loop is single-threaded.
+    // Worker-side channels stay deadline-free: a slow coordinator must
+    // never make a worker give up (see TransportTuning::io_deadline_ms).
     parent_end.Close();
-    for (Worker& other : workers_) other.channel.Close();
-    const int code = WorkerMain(&child_end, pois_, tree_, engine_options);
+    hb_parent.Close();
+    for (Worker& other : workers_) {
+      other.channel.Close();
+      other.heartbeat.Close();
+    }
+    for (const FaultPlan::Event& ev : faults) {
+      child_end.ArmFault(ev.frame, ev.kind);
+    }
+    const int code =
+        WorkerMain(&child_end, &hb_child, pois_, tree_, engine_options);
     child_end.Close();
+    hb_child.Close();
     // _Exit: no atexit handlers, no static destructors, no flushing of
     // stdio buffers inherited from the coordinator.
     std::_Exit(code);
   }
   child_end.Close();
+  hb_child.Close();
   w.pid = pid;
   w.channel = std::move(parent_end);
+  w.channel.set_io_deadline_ms(tt.io_deadline_ms);
+  w.heartbeat = std::move(hb_parent);
+  w.heartbeat.set_io_deadline_ms(tt.heartbeat_timeout_ms);
+  w.ping_seq = 0;
+  w.last_progress = 0;
   w.reaped = false;
 }
 
@@ -341,21 +427,125 @@ bool ClusterEngine::ReplayShardSnapshot(size_t shard, bool count_stats) {
     const uint32_t id =
         static_cast<uint32_t>(shard + k * options_.workers);
     const SessionState& state = snapshot_[id];
-    if (!w.channel.Send(state.admit_frame)) return false;
+    // Recorded retirements ride INSIDE the admit frame (folded into the
+    // tuning's retire_at, which RequestRetire min-merges with anyway): a
+    // worker's engine starts advancing a session the moment it is
+    // admitted, so a separate kRetire frame behind the admit could lose
+    // the race against the session finishing — the retirement would be a
+    // no-op and the digest would diverge from the single-process run.
+    if (state.retire_ats.empty()) {
+      if (!SendToShard(shard, state.admit_frame)) return false;
+    } else {
+      WireBuffer patched = state.admit_frame;
+      uint64_t at = ReadAdmitRetireAt(patched);
+      for (const uint64_t r : state.retire_ats) at = std::min(at, r);
+      patched.PatchU64(kAdmitRetireAtOffset, at);
+      if (!SendToShard(shard, patched)) return false;
+    }
     if (count_stats) {
       ++stats_.sessions_readmitted;
       ++stats_.frames_replayed;
     }
-    for (const uint64_t at : state.retire_ats) {
-      WireBuffer frame;
-      frame.PutU8(kRetire);
-      frame.PutU32(id);
-      frame.PutU64(at);
-      if (!w.channel.Send(frame)) return false;
-      if (count_stats) ++stats_.frames_replayed;
-    }
   }
   return true;
+}
+
+bool ClusterEngine::SendToShard(size_t shard, const WireBuffer& frame) {
+  Worker& w = workers_[shard];
+  const IoStatus st =
+      w.channel.SendFrame(frame, options_.transport.io_deadline_ms);
+  if (st == IoStatus::kOk) return true;
+  if (st == IoStatus::kDeadline) {
+    // The worker stopped draining its pipe within the deadline: count
+    // the expiry, kill it (the stream is no longer trustworthy) and let
+    // the caller run the normal recovery path.
+    ++stats_.deadline_hits;
+    if (w.pid > 0 && !w.reaped) kill(w.pid, SIGKILL);
+  }
+  if (!w.channel.last_error().empty()) {
+    w.last_io_error = w.channel.last_error();
+  }
+  return false;
+}
+
+bool ClusterEngine::ProbeWorker(size_t shard) {
+  Worker& w = workers_[shard];
+  if (!w.heartbeat.valid()) return false;
+  const double timeout = options_.transport.heartbeat_timeout_ms;
+  try {
+    WireBuffer ping;
+    ping.PutU8(kPing);
+    ping.PutU64(++w.ping_seq);
+    if (w.heartbeat.SendFrame(ping, timeout) != IoStatus::kOk) return false;
+    std::vector<uint8_t> payload;
+    for (;;) {
+      if (w.heartbeat.RecvFrame(&payload, timeout) != IoStatus::kOk) {
+        return false;
+      }
+      WireReader r(payload);
+      if (r.GetU8() != kPong) return false;
+      const uint64_t seq = r.GetU64();
+      const uint64_t progress = r.GetU64();
+      if (seq == w.ping_seq) {
+        w.last_progress = progress;
+        return true;
+      }
+      // A stale pong answering a probe that already timed out: drain it
+      // and keep waiting for ours.
+    }
+  } catch (const std::exception&) {
+    return false;  // a torn pong is as good as no pong
+  }
+}
+
+IoStatus ClusterEngine::RecvReplySliced(size_t shard,
+                                        std::vector<uint8_t>* payload) {
+  Worker& w = workers_[shard];
+  const TransportTuning& tt = options_.transport;
+  if (!tt.heartbeats || !w.heartbeat.valid()) {
+    // Pre-hardening behaviour: block until the reply or EOF. A hung
+    // worker blocks forever — that is what heartbeats are for.
+    return w.channel.RecvFrame(payload, 0);
+  }
+  size_t misses = 0;
+  uint64_t progress_mark = w.last_progress;
+  Timer since_progress;
+  for (;;) {
+    const IoStatus st =
+        w.channel.RecvFrame(payload, tt.heartbeat_interval_ms);
+    if (st != IoStatus::kDeadline) return st;
+    // The slice elapsed without a reply. Distinguish "busy recomputing"
+    // (slow is fine, the pong proves life) from "hung" (SIGSTOPped or
+    // wedged: pings go unanswered until the miss budget declares it).
+    if (ProbeWorker(shard)) {
+      misses = 0;
+      if (w.last_progress != progress_mark) {
+        progress_mark = w.last_progress;
+        since_progress.Reset();
+      }
+    } else {
+      ++stats_.heartbeat_misses;
+      if (++misses >= tt.heartbeat_miss_budget) {
+        w.last_io_error = "heartbeat miss budget exhausted";
+        if (w.pid > 0 && !w.reaped) kill(w.pid, SIGKILL);
+        return IoStatus::kClosed;
+      }
+    }
+    if (tt.drain_deadline_ms > 0 &&
+        since_progress.ElapsedMillis() > tt.drain_deadline_ms) {
+      ++stats_.deadline_hits;
+      w.last_io_error = "drain deadline expired without progress";
+      if (w.pid > 0 && !w.reaped) kill(w.pid, SIGKILL);
+      return IoStatus::kClosed;
+    }
+  }
+}
+
+void ClusterEngine::HarvestChannelCounters(Worker* w) {
+  if (w->channel.valid()) stats_.retries += w->channel.counters().retries;
+  if (w->heartbeat.valid()) {
+    stats_.retries += w->heartbeat.counters().retries;
+  }
 }
 
 void ClusterEngine::MarkShardLost(size_t shard) {
@@ -370,7 +560,10 @@ void ClusterEngine::MarkShardLost(size_t shard) {
   w.lost_reason = ShardError(
       shard, "lost after " + std::to_string(w.restarts) +
                  " restart(s): restart budget exhausted; groups lost: [" +
-                 (ids.empty() ? std::string("none") : ids) + "]");
+                 (ids.empty() ? std::string("none") : ids) + "]" +
+                 (w.last_io_error.empty()
+                      ? std::string()
+                      : "; last transport error: " + w.last_io_error));
   ++stats_.shards_lost;
   throw std::runtime_error(w.lost_reason);
 }
@@ -384,15 +577,23 @@ void ClusterEngine::RecoverShard(size_t shard) {
     // idempotent either way, and closing the channel first guarantees the
     // blocking reap cannot hang.
     if (w.pid > 0 && !w.reaped) kill(w.pid, SIGKILL);
+    if (!w.channel.last_error().empty()) {
+      w.last_io_error = w.channel.last_error();
+    }
+    HarvestChannelCounters(&w);
     w.channel.Close();
+    w.heartbeat.Close();
     Reap(shard);
     const RecoveryOptions& recovery = options_.recovery;
     if (recovery.max_restarts == 0) {
       // Pre-elastic fail-stop: poison the cluster instead of recovering.
       failed_ = true;
       stats_.recovery_seconds += timer.ElapsedSeconds();
-      throw std::runtime_error(
-          ShardError(shard, "exited unexpectedly (recovery disabled)"));
+      throw std::runtime_error(ShardError(
+          shard, "exited unexpectedly (recovery disabled)" +
+                     (w.last_io_error.empty()
+                          ? std::string()
+                          : "; last transport error: " + w.last_io_error)));
     }
     if (w.restarts >= recovery.max_restarts) {
       stats_.recovery_seconds += timer.ElapsedSeconds();
@@ -447,7 +648,7 @@ bool ClusterEngine::SendDrainRecovering(size_t shard) {
   drain.PutU8(kDrain);
   for (;;) {
     if (workers_[shard].lost) return false;
-    if (workers_[shard].channel.Send(drain)) return true;
+    if (SendToShard(shard, drain)) return true;
     try {
       RecoverShard(shard);
     } catch (const std::runtime_error&) {
@@ -461,7 +662,17 @@ bool ClusterEngine::RecvDrainRecovering(size_t shard) {
   for (;;) {
     if (workers_[shard].lost) return false;
     std::vector<uint8_t> payload;
-    bool dead = !workers_[shard].channel.Recv(&payload);
+    bool dead = false;
+    try {
+      dead = RecvReplySliced(shard, &payload) != IoStatus::kOk;
+    } catch (const FrameError& e) {
+      // Frame integrity failure (bad magic/version, CRC mismatch, torn
+      // frame, mid-frame wedge): the stream is no longer trustworthy.
+      // Count it and restart the worker — same path as a death.
+      ++stats_.checksum_failures;
+      workers_[shard].last_io_error = e.what();
+      dead = true;
+    }
     if (!dead && !payload.empty() && payload[0] == kWorkerError) {
       // The worker hit an internal error and exited; treat like a death —
       // deterministic errors (e.g. a failing correctness check) recur on
@@ -525,6 +736,9 @@ void ClusterEngine::ParseDrainReply(size_t shard,
     slots[t].seconds += r.GetDouble();
   }
   w.last_slots = std::move(slots);
+  // The worker ships its transport-retry delta with every drain so the
+  // coordinator's RecoveryStats see both ends of each channel.
+  stats_.retries += r.GetU64();
   // Every session admitted so far is final now (Engine::Wait drains all).
   w.drained_through = shard_sessions;
 }
@@ -606,27 +820,51 @@ void ClusterEngine::Shutdown() {
       stopped_ = true;
       WireBuffer bye;
       bye.PutU8(kShutdown);
+      // Ack waits are bounded by the liveness window: a worker hung
+      // between its drain reply and the shutdown ack must not wedge
+      // Shutdown (the SIGKILL-on-timeout below loses nothing — every
+      // result already crossed).
+      const TransportTuning& tt = options_.transport;
+      const double ack_deadline_ms =
+          tt.heartbeats ? (tt.heartbeat_interval_ms +
+                           tt.heartbeat_timeout_ms) *
+                              static_cast<double>(tt.heartbeat_miss_budget)
+                        : tt.io_deadline_ms;
       for (size_t shard = 0; shard < workers_.size(); ++shard) {
         Worker& w = workers_[shard];
         if (w.lost) continue;
         // A worker dying between its drain reply and the shutdown ack
         // loses nothing — every result already crossed — so transport
         // failures here are tolerated, not recovered.
-        if (!w.channel.Send(bye)) {
-          w.channel.Close();
-          Reap(shard);
-          continue;
-        }
-        std::vector<uint8_t> payload;
-        if (w.channel.Recv(&payload)) {
-          WireReader r(payload);
-          if (r.GetU8() != kShutdownAck) {
-            failed_ = true;
-            throw std::runtime_error(
-                ShardError(shard, "sent an invalid reply"));
+        if (SendToShard(shard, bye)) {
+          std::vector<uint8_t> payload;
+          bool acked = false;
+          try {
+            const IoStatus st = w.channel.RecvFrame(&payload, ack_deadline_ms);
+            if (st == IoStatus::kDeadline) {
+              ++stats_.deadline_hits;
+              if (w.pid > 0 && !w.reaped) kill(w.pid, SIGKILL);
+            }
+            acked = st == IoStatus::kOk;
+          } catch (const FrameError&) {
+            ++stats_.checksum_failures;  // torn ack: tolerated
+          }
+          if (acked) {
+            WireReader r(payload);
+            const uint8_t type = r.GetU8();
+            // kWorkerError here means an injected fault (or a real one)
+            // hit the shutdown exchange itself; the worker is exiting
+            // either way and its results already crossed — tolerated.
+            if (type != kShutdownAck && type != kWorkerError) {
+              failed_ = true;
+              throw std::runtime_error(
+                  ShardError(shard, "sent an invalid reply"));
+            }
           }
         }
+        HarvestChannelCounters(&w);
         w.channel.Close();
+        w.heartbeat.Close();
         Reap(shard);
       }
     }
@@ -688,7 +926,14 @@ uint64_t ClusterEngine::ResultDigest() const {
 
 ClusterEngine::RecoveryStats ClusterEngine::recovery_stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  RecoveryStats s = stats_;
+  // stats_ holds the counters of channels already closed (harvested just
+  // before each Close); live channels contribute on the fly.
+  for (const Worker& w : workers_) {
+    if (w.channel.valid()) s.retries += w.channel.counters().retries;
+    if (w.heartbeat.valid()) s.retries += w.heartbeat.counters().retries;
+  }
+  return s;
 }
 
 bool ClusterEngine::shard_lost(size_t shard) const {
@@ -704,6 +949,30 @@ void ClusterEngine::KillWorkerForTest(size_t shard) {
   if (!workers_[shard].reaped && workers_[shard].pid > 0) {
     kill(workers_[shard].pid, SIGKILL);
   }
+}
+
+void ClusterEngine::StopWorkerForTest(size_t shard) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RequireStarted();
+  MPN_ASSERT(shard < workers_.size());
+  if (!workers_[shard].reaped && workers_[shard].pid > 0) {
+    kill(workers_[shard].pid, SIGSTOP);
+  }
+}
+
+void ClusterEngine::InjectFaultAt(size_t shard, size_t frame,
+                                  FaultKind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_) {
+    throw std::logic_error(
+        "ClusterEngine::InjectFaultAt must be called before Start");
+  }
+  MPN_ASSERT(shard < options_.workers);
+  FaultPlan::Event event;
+  event.shard = shard;
+  event.frame = frame;
+  event.kind = kind;
+  fault_plan_.events.push_back(event);
 }
 
 void ClusterEngine::KillWorkerAt(size_t shard, size_t timestamp) {
@@ -732,13 +1001,15 @@ void ClusterEngine::Reap(size_t shard) {
   w.reaped = true;
 }
 
-void ClusterEngine::TeardownWorkers(bool force) {
+void ClusterEngine::TeardownWorkers() {
   std::lock_guard<std::mutex> lock(mu_);
   for (Worker& w : workers_) {
-    if (!w.reaped && w.pid > 0 && force) kill(w.pid, SIGKILL);
-    // Closing the channel makes a live worker's Recv return EOF, which
-    // ends its serving loop — the blocking reap below cannot hang.
+    // SIGKILL unconditionally: this is the abnormal path (Shutdown is
+    // the graceful one), and a SIGSTOPped worker would never notice the
+    // channel EOF — the blocking reap below must not hang on it.
+    if (!w.reaped && w.pid > 0) kill(w.pid, SIGKILL);
     w.channel.Close();
+    w.heartbeat.Close();
   }
   for (size_t shard = 0; shard < workers_.size(); ++shard) {
     Reap(shard);

@@ -47,11 +47,26 @@
 // timestamp kill in each worker incarnation (engine/ipc.h CrashPlan,
 // EngineOptions::crash_at_timestamp).
 //
+// Hardened transport (engine/transport.h, engine/ipc.h): frames carry a
+// magic/version/CRC32 header, channels are non-blocking with per-operation
+// deadlines, and the coordinator probes a silent worker's liveness over a
+// dedicated heartbeat channel (a worker-side responder thread answers
+// pings even while the worker's main thread blocks inside Engine::Wait).
+// A hung-but-alive worker — SIGSTOPped, wedged, or stalling mid-frame —
+// exhausts the heartbeat miss budget (TransportTuning), is SIGKILLed and
+// recovered through the same snapshot replay as a death, so the digest
+// contract holds for hangs exactly as it does for crashes. Corrupt or
+// torn frames surface as the typed FrameError and take the same restart
+// path. Deterministic fault injection for tests and benches:
+// InjectFaultAt / MPN_FAULT_PLAN arm per-frame transport faults
+// (engine/ipc.h FaultPlan) in each worker incarnation.
+//
 // With max_restarts = 0 the pre-elastic fail-stop behaviour is restored:
 // any transport failure latches the cluster as failed and every
 // subsequent call throws. Double Start() and AdmitSession after
 // Shutdown() are hard std::logic_errors. See docs/ARCHITECTURE.md §5c for
-// the protocol and the recovery determinism argument.
+// the protocol and the recovery determinism argument, §5d for the frame
+// format, deadlines, heartbeats and the fault taxonomy.
 #pragma once
 
 #include <sys/types.h>
@@ -81,6 +96,38 @@ struct RecoveryOptions {
   double backoff_max_ms = 200.0;
 };
 
+/// Transport hardening knobs (see docs/ARCHITECTURE.md §5d).
+struct TransportTuning {
+  /// Byte transport under the frames: AF_UNIX socketpair or loopback TCP
+  /// (engine/transport.h). Both are created pre-fork and behave
+  /// identically; TCP is the rehearsal for off-box workers.
+  TransportKind kind = TransportKind::kSocketPair;
+  /// Coordinator-side per-operation I/O deadline (ms): bounds every send
+  /// and any *mid-frame* receive progress. A worker that stops moving
+  /// bytes inside an operation is killed and recovered. <= 0 restores
+  /// the pre-hardening unbounded blocking. Worker-side channels stay
+  /// unbounded — deadlines protect the coordinator from workers, never
+  /// the reverse (a wedged coordinator means the cluster is gone anyway).
+  double io_deadline_ms = 10'000.0;
+  /// Liveness probing while awaiting a drain reply. Every
+  /// heartbeat_interval_ms without a reply, the coordinator pings the
+  /// worker's heartbeat channel and waits heartbeat_timeout_ms for the
+  /// pong; heartbeat_miss_budget *consecutive* unanswered probes declare
+  /// the worker hung — it is SIGKILLed and recovered via snapshot
+  /// replay. Disable with heartbeats = false (a hung worker then blocks
+  /// Wait forever, as before this layer existed).
+  bool heartbeats = true;
+  double heartbeat_interval_ms = 500.0;
+  double heartbeat_timeout_ms = 1'000.0;
+  size_t heartbeat_miss_budget = 3;
+  /// Optional cap (ms) on a drain wait with no scheduler progress
+  /// observed via heartbeat pongs: when exceeded, the worker is killed
+  /// and recovered (counted in RecoveryStats::deadline_hits). 0 (the
+  /// default) trusts heartbeats alone — a slow-but-alive worker is never
+  /// killed for being slow.
+  double drain_deadline_ms = 0.0;
+};
+
 /// Cluster configuration.
 struct ClusterOptions {
   /// Worker processes (shards). Groups are routed by group_id % workers.
@@ -89,6 +136,8 @@ struct ClusterOptions {
   EngineOptions engine;
   /// Worker supervision (restart budget, backoff).
   RecoveryOptions recovery;
+  /// Transport hardening (backend, deadlines, heartbeats).
+  TransportTuning transport;
 };
 
 /// Coordinator of a multi-process engine cluster. Mirrors the Engine
@@ -108,6 +157,14 @@ class ClusterEngine {
     size_t frames_replayed = 0;     ///< admit+retire frames re-sent
     size_t shards_lost = 0;         ///< shards degraded after the budget
     double recovery_seconds = 0.0;  ///< wall time spent recovering
+    /// Transport-level EINTR/EAGAIN retries absorbed (coordinator
+    /// channels harvested continuously, worker channels via drain
+    /// replies) — nonzero is normal under load, growth without progress
+    /// is the smell.
+    uint64_t retries = 0;
+    size_t checksum_failures = 0;  ///< frames rejected by integrity checks
+    size_t heartbeat_misses = 0;   ///< liveness probes that went unanswered
+    size_t deadline_hits = 0;      ///< I/O or drain deadlines that expired
   };
 
   /// `pois` and `tree` must be fully built before Start() forks the
@@ -132,7 +189,12 @@ class ClusterEngine {
   /// Deterministically truncates session `id`'s horizon at `at_timestamp`
   /// (see Engine::RetireSession; Engine::kRetireNow asks for the next
   /// event boundary instead, which is wall-clock dependent). Recorded in
-  /// the recovery snapshot, so replayed sessions retire identically.
+  /// the recovery snapshot, so replayed sessions retire identically —
+  /// and delivered *inside* the admit frame when recorded before the
+  /// session's admission ships (pre-Start, or before a recovery replay):
+  /// a worker's engine advances sessions the moment they are admitted,
+  /// so a separate retire frame could lose the race against the session
+  /// finishing.
   void RetireSession(uint32_t id, size_t at_timestamp = Engine::kRetireNow);
 
   /// Forks the worker processes (each starts its engine immediately) and
@@ -195,6 +257,12 @@ class ClusterEngine {
   /// wall-clock instant. For a deterministic kill use KillWorkerAt.
   void KillWorkerForTest(size_t shard);
 
+  /// Test hook: SIGSTOPs shard's worker — hung, not dead. The kernel
+  /// keeps its pipes open, so only the heartbeat machinery (not EOF) can
+  /// detect it; the next Wait must kill and recover it via the miss
+  /// budget.
+  void StopWorkerForTest(size_t shard);
+
   /// Deterministic crash injection: the next worker incarnation forked for
   /// `shard` (initial worker first, then each replacement) _Exit(134)s the
   /// first time one of its sessions is about to advance to virtual
@@ -203,6 +271,15 @@ class ClusterEngine {
   /// ("shard:timestamp,...") prepends events at construction. Must be
   /// called before Start (std::logic_error afterwards).
   void KillWorkerAt(size_t shard, size_t timestamp);
+
+  /// Deterministic transport-fault injection: arms `kind` at the
+  /// `frame`-th frame operation of shard's data channel (engine/ipc.h
+  /// FaultPlan — batches are consumed per incarnation, fatal kinds
+  /// last). The MPN_FAULT_PLAN environment variable
+  /// ("shard:frame:kind,..." or "seed:N") prepends events at
+  /// construction. Must be called before Start (std::logic_error
+  /// afterwards).
+  void InjectFaultAt(size_t shard, size_t frame, FaultKind kind);
 
  private:
   /// Cluster-level per-timestamp totals (mirrors Scheduler::Slot).
@@ -215,6 +292,17 @@ class ClusterEngine {
   struct Worker {
     pid_t pid = -1;
     IpcChannel channel;
+    /// Dedicated liveness channel: pings answered by a worker-side
+    /// responder thread even while the worker's main thread is draining.
+    IpcChannel heartbeat;
+    /// Sequence number of the last ping sent (pongs echo it, so stale
+    /// replies to timed-out probes are recognizable and drained).
+    uint64_t ping_seq = 0;
+    /// Scheduler progress reported by the worker's last pong.
+    uint64_t last_progress = 0;
+    /// Last transport-level failure text (errno / integrity detail) for
+    /// this shard, surfaced into per-shard error messages.
+    std::string last_io_error;
     bool reaped = false;
     /// Replacements forked for this shard so far.
     size_t restarts = 0;
@@ -269,9 +357,12 @@ class ClusterEngine {
   /// Forks one worker for `shard` (arming the next crash-plan event) and
   /// installs its channel. Caller holds mu_.
   void ForkWorker(size_t shard);
-  /// Replays the snapshot to shard's current incarnation: admit + retire
-  /// frames of every non-final session, ascending. Returns false when the
-  /// replacement died mid-replay (caller recovers again). Caller holds mu_.
+  /// Replays the snapshot to shard's current incarnation: the admit frame
+  /// of every non-final session, ascending, with recorded retirements
+  /// folded into each frame's retire_at tuning (a trailing retire frame
+  /// would race the session finishing on the live worker). Returns false
+  /// when the replacement died mid-replay (caller recovers again).
+  /// Caller holds mu_.
   bool ReplayShardSnapshot(size_t shard, bool count_stats);
   /// Supervisor: reaps the dead worker and brings up a replayed
   /// replacement. Throws (std::runtime_error) when the restart budget is
@@ -280,6 +371,25 @@ class ClusterEngine {
   void RecoverShard(size_t shard);
   /// Marks `shard` lost and throws the per-shard degradation error.
   [[noreturn]] void MarkShardLost(size_t shard);
+  /// Deadline-bounded send on shard's data channel. A deadline expiry
+  /// counts in stats_, kills the worker (it stopped draining its pipe)
+  /// and returns false so the caller runs the normal recovery path; a
+  /// gone peer just returns false. Caller holds mu_.
+  bool SendToShard(size_t shard, const WireBuffer& frame);
+  /// One liveness probe: ping + pong (seq-matched, stale pongs drained)
+  /// within heartbeat_timeout_ms. Updates last_progress on success.
+  /// Caller holds mu_.
+  bool ProbeWorker(size_t shard);
+  /// Receives shard's next data-channel frame, slicing the wait every
+  /// heartbeat_interval_ms to probe liveness: a worker that answers
+  /// probes may take forever (slow != dead), one that exhausts the miss
+  /// budget — or the optional drain_deadline_ms without scheduler
+  /// progress — is SIGKILLed and reported as kClosed. Throws FrameError
+  /// on integrity failures. Caller holds mu_.
+  IoStatus RecvReplySliced(size_t shard, std::vector<uint8_t>* payload);
+  /// Folds shard's channel counters into stats_ (exactly once per
+  /// channel: call right before Close). Caller holds mu_.
+  void HarvestChannelCounters(Worker* w);
   /// Sends the drain frame to `shard`, recovering through worker deaths.
   /// Returns false when the shard degraded to lost (error recorded in
   /// lost_reason). Caller holds mu_.
@@ -292,8 +402,11 @@ class ClusterEngine {
   void ParseDrainReply(size_t shard, const std::vector<uint8_t>& payload);
   /// Reaps shard's process if still outstanding (blocking, EINTR-safe).
   void Reap(size_t shard);
-  /// Closes every channel and reaps every worker; SIGKILLs on `force`.
-  void TeardownWorkers(bool force);
+  /// SIGKILLs, closes and reaps every remaining worker (destructor /
+  /// abnormal paths — the graceful route is Shutdown). The kill is
+  /// unconditional: a SIGSTOPped worker never sees the channel EOF, so
+  /// waiting for a voluntary exit could hang forever.
+  void TeardownWorkers();
 
   const std::vector<Point>* pois_;
   const RTree* tree_;
@@ -308,6 +421,7 @@ class ClusterEngine {
   /// *before* the first send, so a replay can never miss a session).
   std::vector<SessionState> snapshot_;
   CrashPlan crash_plan_;
+  FaultPlan fault_plan_;
   RecoveryStats stats_;
   /// Last drained result per global id; persists across Waits so final
   /// sessions on recovered (or lost) shards keep their results.

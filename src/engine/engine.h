@@ -229,6 +229,11 @@ class Engine {
     return scheduler_->SnapshotSlots();
   }
 
+  /// Monotone count of scheduler events dispatched — the liveness signal
+  /// a cluster worker's heartbeat replies carry (see Scheduler::
+  /// events_processed). Safe to read from any thread at any time.
+  uint64_t events_processed() const { return scheduler_->events_processed(); }
+
   /// FNV-1a hash over every deterministic per-session result field
   /// (protocol counters, algorithm counters, final meeting point) in
   /// session-id order. Identical across thread counts for identical

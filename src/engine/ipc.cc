@@ -1,13 +1,11 @@
 #include "engine/ipc.h"
 
-#include <sys/socket.h>
-#include <sys/types.h>
-#include <unistd.h>
-
-#include <cerrno>
+#include <csignal>
 #include <cstdlib>
 #include <cstring>
-#include <stdexcept>
+
+#include "util/macros.h"
+#include "util/rng.h"
 
 namespace mpn {
 
@@ -18,9 +16,21 @@ namespace {
 /// result snapshot — is a few MB at most).
 constexpr uint32_t kMaxFrameBytes = 256u * 1024u * 1024u;
 
-[[noreturn]] void ThrowErrno(const char* what) {
-  throw std::runtime_error(std::string("mpn ipc: ") + what + ": " +
-                           std::strerror(errno));
+void PutLe32(uint8_t* p, uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = (v >> (8 * i)) & 0xFF;
+}
+
+uint32_t GetLe32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::string TrimToken(const std::string& tok) {
+  const size_t b = tok.find_first_not_of(" \t");
+  if (b == std::string::npos) return std::string();
+  const size_t e = tok.find_last_not_of(" \t");
+  return tok.substr(b, e - b + 1);
 }
 
 }  // namespace
@@ -31,6 +41,11 @@ void WireBuffer::PutU32(uint32_t v) {
 
 void WireBuffer::PutU64(uint64_t v) {
   for (int i = 0; i < 8; ++i) data_.push_back((v >> (8 * i)) & 0xFF);
+}
+
+void WireBuffer::PatchU64(size_t offset, uint64_t v) {
+  MPN_ASSERT(offset + 8 <= data_.size());
+  for (int i = 0; i < 8; ++i) data_[offset + i] = (v >> (8 * i)) & 0xFF;
 }
 
 void WireBuffer::PutDouble(double v) {
@@ -47,7 +62,7 @@ void WireBuffer::PutString(const std::string& s) {
 
 void WireReader::Need(size_t n) const {
   if (size_ - off_ < n) {
-    throw std::runtime_error("mpn ipc: truncated frame payload");
+    throw FrameError("truncated frame payload");
   }
 }
 
@@ -89,6 +104,27 @@ std::string WireReader::GetString() {
   return s;
 }
 
+uint32_t Crc32(const uint8_t* data, size_t n) {
+  // Table-driven reflected CRC32 (IEEE 802.3). The table is built once;
+  // function-local static init is thread-safe.
+  static const auto* table = [] {
+    auto* t = new uint32_t[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) {
+    crc = table[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
 const size_t CrashPlan::kNoCrash = static_cast<size_t>(-1);
 
 size_t CrashPlan::Take(size_t shard) {
@@ -108,13 +144,9 @@ CrashPlan CrashPlan::Parse(const std::string& spec) {
   while (pos < spec.size()) {
     size_t comma = spec.find(',', pos);
     if (comma == std::string::npos) comma = spec.size();
-    std::string tok = spec.substr(pos, comma - pos);
+    const std::string tok = TrimToken(spec.substr(pos, comma - pos));
     pos = comma + 1;
-    // Trim surrounding whitespace; empty tokens (trailing commas) are ok.
-    const size_t b = tok.find_first_not_of(" \t");
-    if (b == std::string::npos) continue;
-    const size_t e = tok.find_last_not_of(" \t");
-    tok = tok.substr(b, e - b + 1);
+    if (tok.empty()) continue;  // trailing commas are ok
     const size_t colon = tok.find(':');
     if (colon == std::string::npos || colon == 0 || colon + 1 == tok.size()) {
       throw std::runtime_error(
@@ -143,96 +175,263 @@ CrashPlan CrashPlan::FromEnv() {
   return Parse(env);
 }
 
-IpcChannel& IpcChannel::operator=(IpcChannel&& other) noexcept {
-  if (this != &other) {
-    Close();
-    fd_ = other.fd_;
-    other.fd_ = -1;
+bool FaultPlan::IsFatal(FaultKind kind) {
+  return kind == FaultKind::kCorrupt || kind == FaultKind::kTruncate ||
+         kind == FaultKind::kStall || kind == FaultKind::kReset;
+}
+
+std::vector<FaultPlan::Event> FaultPlan::TakeIncarnation(size_t shard) {
+  std::vector<Event> batch;
+  for (size_t i = 0; i < events.size();) {
+    if (events[i].shard != shard) {
+      ++i;
+      continue;
+    }
+    batch.push_back(events[i]);
+    events.erase(events.begin() + static_cast<ptrdiff_t>(i));
+    if (IsFatal(batch.back().kind)) break;
   }
-  return *this;
+  return batch;
+}
+
+FaultPlan FaultPlan::Parse(const std::string& spec) {
+  FaultPlan plan;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string tok = TrimToken(spec.substr(pos, comma - pos));
+    pos = comma + 1;
+    if (tok.empty()) continue;
+    const size_t c1 = tok.find(':');
+    const size_t c2 = c1 == std::string::npos ? std::string::npos
+                                              : tok.find(':', c1 + 1);
+    if (c1 == std::string::npos || c2 == std::string::npos || c1 == 0 ||
+        c2 == c1 + 1 || c2 + 1 == tok.size()) {
+      throw std::runtime_error(
+          "mpn ipc: malformed fault plan entry (want shard:frame:kind): " +
+          tok);
+    }
+    char* end = nullptr;
+    Event ev;
+    ev.shard = std::strtoull(tok.c_str(), &end, 10);
+    if (end != tok.c_str() + c1) {
+      throw std::runtime_error("mpn ipc: malformed fault plan shard: " + tok);
+    }
+    ev.frame = std::strtoull(tok.c_str() + c1 + 1, &end, 10);
+    if (end != tok.c_str() + c2) {
+      throw std::runtime_error("mpn ipc: malformed fault plan frame: " + tok);
+    }
+    ev.kind = ParseFaultKind(tok.substr(c2 + 1));
+    plan.events.push_back(ev);
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::FromSeed(uint64_t seed, size_t shards) {
+  FaultPlan plan;
+  if (shards == 0) return plan;
+  Rng rng(seed);
+  const size_t count = 1 + static_cast<size_t>(rng.UniformInt(0, 1));
+  for (size_t i = 0; i < count; ++i) {
+    Event ev;
+    ev.shard = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(shards) - 1));
+    // Early frame indices: the first frames of a shard are its admit
+    // receives, so low indices are the ones a small workload reaches.
+    ev.frame = static_cast<size_t>(rng.UniformInt(0, 11));
+    static const FaultKind kKinds[] = {
+        FaultKind::kShortIo, FaultKind::kEintrStorm, FaultKind::kCorrupt,
+        FaultKind::kTruncate, FaultKind::kStall, FaultKind::kReset};
+    ev.kind = kKinds[rng.UniformInt(0, 5)];
+    plan.events.push_back(ev);
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::FromEnv(size_t shards) {
+  const char* env = std::getenv("MPN_FAULT_PLAN");
+  if (env == nullptr || *env == '\0') return FaultPlan();
+  const std::string spec(env);
+  if (spec.rfind("seed:", 0) == 0) {
+    char* end = nullptr;
+    const uint64_t seed = std::strtoull(spec.c_str() + 5, &end, 10);
+    if (end != spec.c_str() + spec.size()) {
+      throw std::runtime_error("mpn ipc: malformed fault plan seed: " + spec);
+    }
+    return FromSeed(seed, shards);
+  }
+  return Parse(spec);
+}
+
+void IpcChannel::MakePair(TransportKind kind, IpcChannel* a, IpcChannel* b) {
+  Transport ta, tb;
+  Transport::MakePair(kind, &ta, &tb);
+  *a = IpcChannel(std::move(ta));
+  *b = IpcChannel(std::move(tb));
 }
 
 void IpcChannel::MakePair(IpcChannel* a, IpcChannel* b) {
-  int fds[2];
-  if (socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
-    ThrowErrno("socketpair");
-  }
-  *a = IpcChannel(fds[0]);
-  *b = IpcChannel(fds[1]);
+  MakePair(TransportKind::kSocketPair, a, b);
 }
 
-void IpcChannel::Close() {
-  if (fd_ >= 0) {
-    ::close(fd_);
-    fd_ = -1;
+IoStatus IpcChannel::SendFrame(const WireBuffer& frame, double deadline_ms) {
+  if (!transport_.valid()) return IoStatus::kClosed;
+  if (frame.size() > kMaxFrameBytes) {
+    // Mirror the receive-side limit at the sender: an oversized frame is
+    // a protocol bug and must fail here, not desync the peer's stream.
+    throw FrameError("frame length exceeds limit");
   }
+
+  FaultKind fault = FaultKind::kShortIo;
+  bool corrupt = false;
+  bool truncate = false;
+  if (transport_.BeginFrameOp(&fault)) {
+    switch (fault) {
+      case FaultKind::kStall:
+        // "Hung, not dead": SIGSTOP freezes every thread of this process
+        // until the coordinator's heartbeat machinery SIGKILLs it (or a
+        // SIGCONT resumes it, after which the send proceeds normally).
+        ::raise(SIGSTOP);
+        break;
+      case FaultKind::kReset:
+        transport_.Abort();
+        return IoStatus::kClosed;
+      case FaultKind::kCorrupt:
+        corrupt = true;
+        break;
+      case FaultKind::kTruncate:
+        truncate = true;
+        break;
+      default:
+        break;  // kShortIo / kEintrStorm shape the byte loops internally.
+    }
+  }
+
+  const uint32_t len = static_cast<uint32_t>(frame.size());
+  uint32_t crc = Crc32(frame.data().data(), frame.size());
+  // A corrupt fault on an empty payload damages the checksum field
+  // instead, so the fault is never a silent no-op.
+  if (corrupt && len == 0) crc ^= 0xFFu;
+  uint8_t header[kHeaderBytes];
+  PutLe32(header + 0, kFrameMagic);
+  PutLe32(header + 4, kFrameVersion);
+  PutLe32(header + 8, len);
+  PutLe32(header + 12, crc);
+
+  if (truncate) {
+    // Tear the frame: deliver a valid-looking prefix, then hang up, so
+    // the receiver observes EOF mid-frame. An empty payload tears inside
+    // the header instead.
+    const size_t header_part = len > 0 ? kHeaderBytes : kHeaderBytes / 2;
+    (void)transport_.SendBytes(header, header_part, deadline_ms);
+    if (len > 0) {
+      (void)transport_.SendBytes(frame.data().data(), len / 2, deadline_ms);
+    }
+    transport_.ShutdownBoth();
+    return IoStatus::kClosed;
+  }
+
+  IoStatus st = transport_.SendBytes(header, kHeaderBytes, deadline_ms);
+  if (st != IoStatus::kOk) return st;
+  if (len == 0) return IoStatus::kOk;
+  if (corrupt) {
+    // Flip one payload byte *after* the CRC was computed — the receiver
+    // must detect the mismatch and raise FrameError.
+    std::vector<uint8_t> dirty(frame.data());
+    dirty[0] ^= 0x01u;
+    return transport_.SendBytes(dirty.data(), len, deadline_ms);
+  }
+  return transport_.SendBytes(frame.data().data(), len, deadline_ms);
+}
+
+IoStatus IpcChannel::RecvFrame(std::vector<uint8_t>* payload,
+                               double first_byte_deadline_ms) {
+  if (!transport_.valid()) return IoStatus::kClosed;
+
+  FaultKind fault = FaultKind::kShortIo;
+  bool corrupt = false;
+  if (transport_.BeginFrameOp(&fault)) {
+    switch (fault) {
+      case FaultKind::kStall:
+        ::raise(SIGSTOP);
+        break;
+      case FaultKind::kReset:
+        transport_.Abort();
+        return IoStatus::kClosed;
+      case FaultKind::kTruncate:
+        // Receive-side truncation degrades to losing the stream: we hang
+        // up before the frame, so the peer's next op fails instead.
+        transport_.ShutdownBoth();
+        return IoStatus::kClosed;
+      case FaultKind::kCorrupt:
+        corrupt = true;
+        break;
+      default:
+        break;
+    }
+  }
+
+  // The first byte is bounded by the caller's deadline (frame-start
+  // slice); a kDeadline here consumed nothing and the stream stays
+  // aligned, so the caller may probe liveness and retry. Once a frame
+  // has begun, the per-op io deadline applies — a peer that stops
+  // mid-frame is broken, not merely idle.
+  uint8_t header[kHeaderBytes];
+  size_t got = 0;
+  IoStatus st =
+      transport_.RecvBytes(header, 1, first_byte_deadline_ms, &got);
+  if (st != IoStatus::kOk) return st;
+  st = transport_.RecvBytes(header + 1, kHeaderBytes - 1, io_deadline_ms_,
+                            &got);
+  if (st != IoStatus::kOk) {
+    throw FrameError(st == IoStatus::kDeadline
+                         ? "peer wedged mid-frame (header)"
+                         : "peer closed mid-frame (header)");
+  }
+
+  const uint32_t magic = GetLe32(header + 0);
+  const uint32_t version = GetLe32(header + 4);
+  const uint32_t len = GetLe32(header + 8);
+  const uint32_t crc = GetLe32(header + 12);
+  if (magic != kFrameMagic) throw FrameError("bad frame magic");
+  if (version != kFrameVersion) {
+    throw FrameError("protocol version mismatch");
+  }
+  if (len > kMaxFrameBytes) throw FrameError("frame length exceeds limit");
+
+  payload->resize(len);
+  if (len > 0) {
+    st = transport_.RecvBytes(payload->data(), len, io_deadline_ms_, &got);
+    if (st != IoStatus::kOk) {
+      throw FrameError(st == IoStatus::kDeadline
+                           ? "peer wedged mid-frame (payload)"
+                           : "peer closed mid-frame (payload)");
+    }
+  }
+
+  // A receive-side corrupt fault simulates wire damage after the bytes
+  // arrived; either way the CRC must catch it.
+  uint32_t expect = crc;
+  if (corrupt) {
+    if (len > 0) {
+      (*payload)[0] ^= 0x01u;
+    } else {
+      expect ^= 0xFFu;
+    }
+  }
+  if (Crc32(payload->data(), payload->size()) != expect) {
+    throw FrameError("frame CRC mismatch");
+  }
+  return IoStatus::kOk;
 }
 
 bool IpcChannel::Send(const WireBuffer& frame) {
-  if (fd_ < 0) return false;
-  if (frame.size() > kMaxFrameBytes) {
-    // Mirror the receive-side limit at the sender: an oversized frame is
-    // a protocol bug and must fail here, not desync the peer's stream
-    // (the 32-bit length prefix would silently truncate past 4 GiB).
-    throw std::runtime_error("mpn ipc: frame length exceeds limit");
-  }
-  uint8_t header[4];
-  const uint32_t len = static_cast<uint32_t>(frame.size());
-  for (int i = 0; i < 4; ++i) header[i] = (len >> (8 * i)) & 0xFF;
-
-  const auto send_all = [this](const uint8_t* p, size_t n) {
-    while (n > 0) {
-      // MSG_NOSIGNAL: a dead peer must surface as EPIPE, not SIGPIPE.
-      const ssize_t w = ::send(fd_, p, n, MSG_NOSIGNAL);
-      if (w < 0) {
-        if (errno == EINTR) continue;
-        if (errno == EPIPE || errno == ECONNRESET) return false;
-        ThrowErrno("send");
-      }
-      p += w;
-      n -= static_cast<size_t>(w);
-    }
-    return true;
-  };
-  if (!send_all(header, sizeof(header))) return false;
-  return send_all(frame.data().data(), frame.size());
+  return SendFrame(frame, io_deadline_ms_) == IoStatus::kOk;
 }
 
 bool IpcChannel::Recv(std::vector<uint8_t>* payload) {
-  if (fd_ < 0) return false;
-  const auto recv_all = [this](uint8_t* p, size_t n) -> int {
-    size_t got = 0;
-    while (got < n) {
-      const ssize_t r = ::recv(fd_, p + got, n - got, 0);
-      if (r < 0) {
-        if (errno == EINTR) continue;
-        if (errno == ECONNRESET) return 0;  // peer died: treat as EOF
-        ThrowErrno("recv");
-      }
-      if (r == 0) {
-        // Clean EOF only between frames; inside one it is truncation.
-        if (got == 0) return 0;
-        throw std::runtime_error("mpn ipc: peer closed mid-frame");
-      }
-      got += static_cast<size_t>(r);
-    }
-    return 1;
-  };
-
-  uint8_t header[4];
-  if (recv_all(header, sizeof(header)) == 0) return false;
-  uint32_t len = 0;
-  for (int i = 0; i < 4; ++i) {
-    len |= static_cast<uint32_t>(header[i]) << (8 * i);
-  }
-  if (len > kMaxFrameBytes) {
-    throw std::runtime_error("mpn ipc: frame length exceeds limit");
-  }
-  payload->resize(len);
-  if (len > 0 && recv_all(payload->data(), len) == 0) {
-    throw std::runtime_error("mpn ipc: peer closed mid-frame");
-  }
-  return true;
+  return RecvFrame(payload, 0) == IoStatus::kOk;
 }
 
 }  // namespace mpn

@@ -1,25 +1,37 @@
-// Length-prefixed binary framing over socketpair(2) pipes — the transport
-// of the multi-process cluster layer (engine/cluster.h).
+// Checksummed binary framing over the cluster's byte transport
+// (engine/transport.h) — the protocol of the multi-process cluster layer
+// (engine/cluster.h).
 //
 // The cluster needs no network: the coordinator forks its workers, so a
-// pair of connected AF_UNIX stream sockets per worker is enough, and the
-// kernel gives us exactly the failure signal the robustness story needs —
-// when a worker dies, its end of the pair closes and the coordinator's
-// next Recv returns EOF (and Send fails) instead of hanging.
+// connected stream pair per worker (AF_UNIX socketpair or loopback TCP)
+// is enough, and the kernel gives us exactly the failure signal the
+// robustness story needs — when a worker dies, its end closes and the
+// coordinator's next receive returns EOF (and sends fail) instead of
+// hanging. For workers that hang *without* dying, every frame operation
+// takes a deadline (IoStatus::kDeadline) so the coordinator's liveness
+// machinery can step in.
 //
-// Wire format: every frame is a 32-bit little-endian payload length
-// followed by the payload bytes. Payloads are built with WireBuffer and
-// decoded with WireReader: fixed little-endian integers, doubles as their
-// IEEE-754 bit pattern — byte-exact round-trips, which the cluster's
-// bit-identical digest aggregation depends on. WireReader throws
-// std::runtime_error on a truncated or oversized frame; a malformed peer
-// is an error, never undefined behaviour.
+// Wire format: every frame is a 16-byte little-endian header
+//
+//   [magic u32 "MPN1"] [version u32] [payload length u32] [CRC32 u32]
+//
+// followed by the payload bytes. The CRC (IEEE 802.3, poly 0xEDB88320)
+// covers the payload; a bad magic, unknown version, oversized length,
+// CRC mismatch or torn frame throws the typed FrameError, which the
+// cluster layer routes into its worker-restart path — a corrupt peer is
+// a recoverable fault, never undefined decoding. Payloads are built with
+// WireBuffer and decoded with WireReader: fixed little-endian integers,
+// doubles as their IEEE-754 bit pattern — byte-exact round-trips, which
+// the cluster's bit-identical digest aggregation depends on.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <vector>
+
+#include "engine/transport.h"
 
 namespace mpn {
 
@@ -32,6 +44,11 @@ class WireBuffer {
   /// IEEE-754 bit pattern via the u64 path: byte-exact round-trip.
   void PutDouble(double v);
   void PutString(const std::string& s);
+  /// Overwrites the 8 bytes at `offset` with `v` (same little-endian
+  /// layout as PutU64). For in-place patching of a recorded frame — the
+  /// cluster's snapshot replay folds recorded retirements into the admit
+  /// frame's tuning field so retirement never races the admission.
+  void PatchU64(size_t offset, uint64_t v);
 
   const std::vector<uint8_t>& data() const { return data_; }
   size_t size() const { return data_.size(); }
@@ -40,8 +57,19 @@ class WireBuffer {
   std::vector<uint8_t> data_;
 };
 
-/// Bounds-checked decoder over a received payload. Get* throw
-/// std::runtime_error past the end (malformed frame).
+/// A frame failed integrity checks: bad magic, version mismatch, CRC
+/// mismatch, oversized length, truncated payload or a peer that wedged
+/// mid-frame. Derives std::runtime_error so pre-existing catch sites
+/// still treat it as a fatal worker error; the cluster layer catches it
+/// specifically to count the failure and restart the shard.
+class FrameError : public std::runtime_error {
+ public:
+  explicit FrameError(const std::string& what)
+      : std::runtime_error("mpn ipc: " + what) {}
+};
+
+/// Bounds-checked decoder over a received payload. Get* throw FrameError
+/// past the end (malformed frame).
 class WireReader {
  public:
   explicit WireReader(const std::vector<uint8_t>& payload)
@@ -62,6 +90,10 @@ class WireReader {
   size_t size_;
   size_t off_ = 0;
 };
+
+/// CRC32 (IEEE 802.3, reflected, poly 0xEDB88320) over `n` bytes —
+/// Crc32((const uint8_t*)"123456789", 9) == 0xCBF43926.
+uint32_t Crc32(const uint8_t* data, size_t n);
 
 /// Deterministic crash-injection plan for the cluster's recovery paths
 /// (engine/cluster.h). Each event kills one worker incarnation the moment
@@ -100,39 +132,133 @@ struct CrashPlan {
   static const size_t kNoCrash;
 };
 
-/// One endpoint of a socketpair, speaking length-prefixed frames. Owns the
-/// file descriptor.
+/// Deterministic transport-fault plan — CrashPlan's sibling for faults
+/// that damage or delay frames instead of killing the process outright.
+/// Each event injects one FaultKind at the Nth frame operation (0-based,
+/// sends and receives share the worker channel's counter) of a shard's
+/// data channel. The worker side of the cluster protocol is
+/// single-threaded, so its frame-op sequence — admit receives, the drain
+/// receive, the result send — is a deterministic function of the
+/// workload, which makes "the Nth frame of shard k" reproducible.
+///
+/// Events are consumed per incarnation: TakeIncarnation pops a shard's
+/// events in plan order up to and including the first *fatal* kind
+/// (corrupt / truncate / stall / reset — anything that costs the
+/// incarnation its life), so the k-th batch arms the k-th incarnation
+/// forked for the shard, mirroring CrashPlan's FIFO semantics.
+struct FaultPlan {
+  struct Event {
+    size_t shard = 0;
+    size_t frame = 0;
+    FaultKind kind = FaultKind::kCorrupt;
+  };
+  std::vector<Event> events;
+
+  bool empty() const { return events.empty(); }
+
+  /// True for kinds after which the incarnation cannot survive (the
+  /// coordinator restarts the shard): corrupt, truncate, stall, reset.
+  static bool IsFatal(FaultKind kind);
+
+  /// Pops the next batch of events for `shard`: everything up to and
+  /// including the first fatal kind. Returns an empty vector when the
+  /// shard has no events left.
+  std::vector<Event> TakeIncarnation(size_t shard);
+
+  /// Parses "shard:frame:kind[,shard:frame:kind...]" where kind is a
+  /// FaultKindName ("short", "eintr", "corrupt", "trunc", "stall",
+  /// "reset"); spaces allowed around tokens. Throws std::runtime_error
+  /// on a malformed spec.
+  static FaultPlan Parse(const std::string& spec);
+
+  /// Derives a small random plan (1-2 events over `shards` shards) from
+  /// a seed — the "seed:N" form of MPN_FAULT_PLAN, used by the CI fault
+  /// soak. Deterministic for a given (seed, shards).
+  static FaultPlan FromSeed(uint64_t seed, size_t shards);
+
+  /// Reads the MPN_FAULT_PLAN environment variable: empty plan when
+  /// unset or empty, FromSeed when the value is "seed:N", Parse
+  /// otherwise. Events naming a shard >= `shards` are kept but never
+  /// taken — a plan written for a larger cluster degrades gracefully.
+  static FaultPlan FromEnv(size_t shards);
+};
+
+/// One endpoint of a connected pair, speaking checksummed frames over a
+/// Transport. Owns the underlying file descriptor.
 class IpcChannel {
  public:
+  /// Frame header constants (also asserted by tests).
+  static constexpr uint32_t kFrameMagic = 0x314E504Du;  // "MPN1" in LE
+  static constexpr uint32_t kFrameVersion = 1;
+  static constexpr size_t kHeaderBytes = 16;
+
   IpcChannel() = default;
-  /// Takes ownership of `fd`.
-  explicit IpcChannel(int fd) : fd_(fd) {}
-  ~IpcChannel() { Close(); }
+  /// Takes ownership of `fd` (switched to non-blocking).
+  explicit IpcChannel(int fd) : transport_(fd) {}
+  explicit IpcChannel(Transport transport)
+      : transport_(std::move(transport)) {}
 
   IpcChannel(const IpcChannel&) = delete;
   IpcChannel& operator=(const IpcChannel&) = delete;
-  IpcChannel(IpcChannel&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
-  IpcChannel& operator=(IpcChannel&& other) noexcept;
+  IpcChannel(IpcChannel&&) noexcept = default;
+  IpcChannel& operator=(IpcChannel&&) noexcept = default;
 
-  /// Creates a connected AF_UNIX stream socket pair. Throws
-  /// std::runtime_error when socketpair(2) fails.
+  /// Creates a connected pair of the given kind (engine/transport.h).
+  /// Throws std::runtime_error when the underlying syscalls fail.
+  static void MakePair(TransportKind kind, IpcChannel* a, IpcChannel* b);
+  /// Legacy AF_UNIX socketpair form.
   static void MakePair(IpcChannel* a, IpcChannel* b);
 
-  bool valid() const { return fd_ >= 0; }
-  void Close();
+  bool valid() const { return transport_.valid(); }
+  void Close() { transport_.Close(); }
+  /// Half-closes both directions (wakes a blocked reader with EOF)
+  /// without releasing the fd.
+  void ShutdownBoth() { transport_.ShutdownBoth(); }
 
-  /// Sends one frame. Returns false when the peer is gone (EPIPE /
-  /// connection reset / closed channel) — never raises SIGPIPE. Throws
+  /// Sends one frame; the whole operation (header + payload) must
+  /// complete before `deadline_ms` (<= 0: wait indefinitely). Returns
+  /// kClosed when the peer is gone (never raises SIGPIPE), kDeadline on
+  /// expiry — after which the stream is no longer trustworthy and the
+  /// peer should be restarted. Throws FrameError on oversized frames,
   /// std::runtime_error on unexpected socket errors.
-  bool Send(const WireBuffer& frame);
+  IoStatus SendFrame(const WireBuffer& frame, double deadline_ms);
 
-  /// Receives one frame into `payload`. Returns false on EOF (peer exited
-  /// or closed). Throws std::runtime_error on unexpected socket errors or
-  /// a malformed length prefix.
+  /// Receives one frame into `payload`. `first_byte_deadline_ms` bounds
+  /// only the wait for the frame to *begin* (<= 0: wait indefinitely);
+  /// kDeadline then means "no frame yet", nothing was consumed and the
+  /// stream is still clean, so the caller may retry or probe liveness.
+  /// Once the first byte has arrived the per-op deadline
+  /// (set_io_deadline_ms) applies: a peer that wedges or closes
+  /// mid-frame, a bad magic/version/length or a CRC mismatch all throw
+  /// FrameError. Returns kClosed on a clean between-frames EOF or reset.
+  IoStatus RecvFrame(std::vector<uint8_t>* payload,
+                     double first_byte_deadline_ms);
+
+  /// Blocking compatibility wrappers: Send waits io_deadline_ms (false
+  /// on a gone peer or expiry), Recv blocks until a frame begins (false
+  /// on EOF). Both throw FrameError on integrity failures.
+  bool Send(const WireBuffer& frame);
   bool Recv(std::vector<uint8_t>* payload);
 
+  /// Deadline applied to Send and to mid-frame receive progress
+  /// (<= 0: unbounded, the pre-hardening behaviour). Default 0.
+  void set_io_deadline_ms(double ms) { io_deadline_ms_ = ms; }
+  double io_deadline_ms() const { return io_deadline_ms_; }
+
+  /// Arms a deterministic fault on this endpoint (engine/transport.h).
+  void ArmFault(size_t frame, FaultKind kind) {
+    transport_.ArmFault(frame, kind);
+  }
+
+  const TransportCounters& counters() const {
+    return transport_.counters();
+  }
+  /// Last transport-level error text ("" when none) for error messages.
+  const std::string& last_error() const { return transport_.last_error(); }
+
  private:
-  int fd_ = -1;
+  Transport transport_;
+  double io_deadline_ms_ = 0;
 };
 
 }  // namespace mpn

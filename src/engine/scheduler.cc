@@ -111,6 +111,7 @@ void Scheduler::FinalizeLocked(SessionRecord* r) {
 }
 
 void Scheduler::RunEvent(SessionRecord* r) {
+  events_processed_.fetch_add(1, std::memory_order_relaxed);
   GroupSession* s = r->session.get();
   // Crash injection (see set_crash_at_timestamp): die without unwinding —
   // the kernel closes the IPC pipe, which is exactly the failure signal a

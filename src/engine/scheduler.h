@@ -61,6 +61,14 @@ class Scheduler {
   /// True after Start().
   bool started() const { return started_.load(std::memory_order_acquire); }
 
+  /// Monotone count of session events dispatched so far — a cheap
+  /// liveness signal: a worker whose scheduler is making progress keeps
+  /// incrementing this, one that is wedged does not. Read concurrently by
+  /// the cluster worker's heartbeat responder thread.
+  uint64_t events_processed() const {
+    return events_processed_.load(std::memory_order_relaxed);
+  }
+
   /// Schedules a freshly admitted session's first event (no-op before
   /// Start — Start picks it up). Finalizes already-done (zero-horizon)
   /// sessions immediately.
@@ -110,6 +118,7 @@ class Scheduler {
   ThreadPool* pool_;
   SessionTable* table_;
   std::atomic<bool> started_{false};
+  std::atomic<uint64_t> events_processed_{0};
   size_t crash_at_timestamp_ = static_cast<size_t>(-1);
 
   std::mutex idle_mu_;

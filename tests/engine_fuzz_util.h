@@ -48,6 +48,15 @@ struct PlannedCrash {
   size_t timestamp = 0;
 };
 
+/// One planned transport fault (ClusterEngine::InjectFaultAt): shard_slot
+/// folds like PlannedCrash, frame is the 0-based frame-op index on the
+/// shard's data channel, kind is any FaultKind (engine/transport.h).
+struct PlannedFault {
+  size_t shard_slot = 0;
+  size_t frame = 0;
+  FaultKind kind = FaultKind::kCorrupt;
+};
+
 struct FuzzPlan {
   size_t waves = 1;
   size_t horizon = 0;
@@ -56,6 +65,10 @@ struct FuzzPlan {
   std::vector<uint8_t> drain_before;
   std::vector<PlannedSession> sessions;
   std::vector<PlannedCrash> crashes;
+  std::vector<PlannedFault> faults;
+  /// Run the cluster replays over loopback TCP instead of the AF_UNIX
+  /// socketpair — the digest must not care about the byte backend.
+  bool tcp = false;
 };
 
 inline World MakeFuzzWorld(Rng* rng, size_t n_groups, size_t group_size,
@@ -125,6 +138,22 @@ inline FuzzPlan MakeFuzzPlan(Rng* rng, size_t n_groups, size_t horizon) {
         rng->UniformInt(0, static_cast<int64_t>(horizon)));
     plan.crashes.push_back(crash);
   }
+  // 0-2 transport faults layered on top of the crashes: byte shaping,
+  // frame damage or hangs at deterministic frame indices — none of which
+  // may move the digest (drawn after the crashes so pre-fault seeds keep
+  // their worlds and schedules).
+  const size_t n_faults = static_cast<size_t>(rng->UniformInt(0, 2));
+  for (size_t i = 0; i < n_faults; ++i) {
+    PlannedFault fault;
+    fault.shard_slot = static_cast<size_t>(rng->UniformInt(0, 3));
+    fault.frame = static_cast<size_t>(rng->UniformInt(0, 14));
+    const FaultKind kinds[] = {FaultKind::kShortIo, FaultKind::kEintrStorm,
+                               FaultKind::kCorrupt, FaultKind::kTruncate,
+                               FaultKind::kStall, FaultKind::kReset};
+    fault.kind = kinds[rng->UniformInt(0, 5)];
+    plan.faults.push_back(fault);
+  }
+  plan.tcp = rng->Bernoulli(0.5);
   return plan;
 }
 
@@ -193,13 +222,25 @@ inline uint64_t RunClusterPlan(const World& w, const FuzzPlan& plan,
   ClusterOptions opt;
   opt.workers = workers;
   opt.engine = MakeEngineOptions(threads, kernel);
-  // Both planned crashes can fold onto one shard (killing its replacement
-  // too); keep the budget above that so every seeded death recovers.
-  opt.recovery.max_restarts = 4;
+  // Two planned crashes plus two fatal transport faults can all fold onto
+  // one shard; keep the budget above that so every seeded death recovers.
+  opt.recovery.max_restarts = 6;
+  opt.transport.kind =
+      plan.tcp ? TransportKind::kTcpLoopback : TransportKind::kSocketPair;
+  // Fast liveness so a seeded kStall costs ~2 s instead of the serving
+  // defaults' ~4.5 s; the timeout stays generous enough that a loaded CI
+  // box never false-kills a live worker.
+  opt.transport.heartbeat_interval_ms = 100;
+  opt.transport.heartbeat_timeout_ms = 500;
+  opt.transport.heartbeat_miss_budget = 3;
   ClusterEngine cluster(&w.pois, &w.tree, opt);
   if (with_crashes) {
     for (const PlannedCrash& crash : plan.crashes) {
       cluster.KillWorkerAt(crash.shard_slot % workers, crash.timestamp);
+    }
+    for (const PlannedFault& fault : plan.faults) {
+      cluster.InjectFaultAt(fault.shard_slot % workers, fault.frame,
+                            fault.kind);
     }
   }
   return Replay(&cluster, w, plan);
