@@ -170,7 +170,7 @@ class ClusterEngine {
   /// `pois` and `tree` must be fully built before Start() forks the
   /// workers and must outlive the cluster (workers inherit them
   /// copy-on-write).
-  ClusterEngine(const std::vector<Point>* pois, const RTree* tree,
+  ClusterEngine(const std::vector<Point>* pois, SpatialIndex tree,
                 const ClusterOptions& options);
   ~ClusterEngine();
 
@@ -409,7 +409,7 @@ class ClusterEngine {
   void TeardownWorkers();
 
   const std::vector<Point>* pois_;
-  const RTree* tree_;
+  SpatialIndex tree_;
   ClusterOptions options_;
   mutable std::mutex mu_;
   bool started_ = false;

@@ -4,7 +4,8 @@
 // The digest is an FNV-1a hash over every deterministic per-session result
 // field (protocol counters, algorithm counters, final meeting point) in
 // session-id order. Wall-clock fields (server_seconds, mailbox high-water
-// marks, stall counts) are excluded. Both engines feed the *same* word
+// marks, stall counts) and index-structure-dependent fields (R-tree node
+// accesses) are excluded. Both engines feed the *same* word
 // stream through AddSessionResultToDigest — the cluster coordinator ships
 // the per-session fields over IPC and replays them in global session-id
 // order — which is what makes the cluster digest bit-identical to a
@@ -56,7 +57,10 @@ inline void AddSessionResultToDigest(Fnv1a* fnv, const SimMetrics& m,
   fnv->Add(m.msr.candidates.retrievals);
   fnv->Add(m.msr.candidates.candidates_total);
   fnv->Add(m.msr.candidates.rejected_by_buffer);
-  fnv->Add(m.msr.rtree_node_accesses);
+  // rtree_node_accesses is deliberately NOT digested: it depends on index
+  // structure (dynamic vs packed, fanout, build order), and the digest
+  // contract is bit-identity across index backends. It still travels over
+  // IPC and shows up in metrics tables.
 }
 
 }  // namespace mpn

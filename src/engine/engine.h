@@ -123,7 +123,9 @@ class Engine {
   };
 
   /// `pois` and `tree` are shared, read-only, and must outlive the engine.
-  Engine(const std::vector<Point>* pois, const RTree* tree,
+  /// `tree` accepts either index backend (index/spatial_index.h); session
+  /// results and digests are identical across backends.
+  Engine(const std::vector<Point>* pois, SpatialIndex tree,
          const EngineOptions& options);
   ~Engine();
 
@@ -249,7 +251,7 @@ class Engine {
   void RebuildRoundStats();
 
   const std::vector<Point>* pois_;
-  const RTree* tree_;
+  SpatialIndex tree_;
   EngineOptions options_;
   Timer run_timer_;
   EngineRoundStats round_stats_;

@@ -115,7 +115,7 @@ class GroupSession {
   /// All referenced data must outlive the session. All trajectories must be
   /// at least as long as the simulated horizon. `run_timer` (optional) is
   /// the engine-wide clock advance completions are stamped against.
-  GroupSession(uint32_t id, const std::vector<Point>* pois, const RTree* tree,
+  GroupSession(uint32_t id, const std::vector<Point>* pois, SpatialIndex tree,
                std::vector<const Trajectory*> group, const SimOptions& options,
                const SessionTuning& tuning = SessionTuning(),
                const Timer* run_timer = nullptr);
@@ -250,7 +250,7 @@ class GroupSession {
 
   uint32_t id_;
   const std::vector<Point>* pois_;
-  const RTree* tree_;
+  SpatialIndex tree_;
   std::vector<const Trajectory*> group_;
   SimOptions options_;
   SessionTuning tuning_;

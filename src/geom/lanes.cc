@@ -76,6 +76,31 @@ double SqrtLtThreshold(double y) {
   return SqrtLeqThreshold(std::nextafter(y, 0.0));
 }
 
+void RectMinDist2Lanes(const RectLanes& r, const Point& p, double* out) {
+  const double px = p.x, py = p.y;
+  for (size_t i = 0; i < r.n; ++i) {
+    const double dx = std::max(std::max(r.lo_x[i] - px, 0.0), px - r.hi_x[i]);
+    const double dy = std::max(std::max(r.lo_y[i] - py, 0.0), py - r.hi_y[i]);
+    out[i] = dx * dx + dy * dy;
+  }
+}
+
+void RectIntersectsLanes(const RectLanes& r, const Rect& q, uint8_t* out) {
+  const double qlx = q.lo.x, qly = q.lo.y, qhx = q.hi.x, qhy = q.hi.y;
+  for (size_t i = 0; i < r.n; ++i) {
+    out[i] = static_cast<uint8_t>(r.lo_x[i] <= qhx && qlx <= r.hi_x[i] &&
+                                  r.lo_y[i] <= qhy && qly <= r.hi_y[i]);
+  }
+}
+
+void RectContainedLanes(const RectLanes& r, const Rect& q, uint8_t* out) {
+  const double qlx = q.lo.x, qly = q.lo.y, qhx = q.hi.x, qhy = q.hi.y;
+  for (size_t i = 0; i < r.n; ++i) {
+    out[i] = static_cast<uint8_t>(r.lo_x[i] >= qlx && r.hi_x[i] <= qhx &&
+                                  r.lo_y[i] >= qly && r.hi_y[i] <= qhy);
+  }
+}
+
 void PointDist2Lanes(const double* xs, const double* ys, size_t n,
                      const Point& p, double* out) {
   const double px = p.x, py = p.y;

@@ -19,7 +19,9 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
+#include "geom/rect.h"
 #include "geom/vec2.h"
 
 namespace mpn {
@@ -64,6 +66,20 @@ double SqrtLeqThreshold(double z);
 /// Strict variant: for every double t >= 0,
 ///     std::sqrt(t) < y   <=>   t <= SqrtLtThreshold(y).
 double SqrtLtThreshold(double y);
+
+/// out[i] = squared ||p, rect_i||_min (Rect::MinDist2 per lane — the exact
+/// IEEE square RectMinDistLanes feeds to sqrt).
+void RectMinDist2Lanes(const RectLanes& r, const Point& p, double* out);
+
+/// out[i] = 1 when rect_i intersects `q` (closed; Rect::Intersects per lane
+/// assuming non-empty lanes and non-empty q), else 0.
+void RectIntersectsLanes(const RectLanes& r, const Rect& q, uint8_t* out);
+
+/// out[i] = 1 when `q` entirely contains rect_i (q.ContainsRect(rect_i) per
+/// lane, assuming non-empty lanes), else 0. Pure coordinate comparisons —
+/// no rounding — so a set lane proves exact containment of every point of
+/// the rectangle (the packed index's bulk-emit fast path relies on this).
+void RectContainedLanes(const RectLanes& r, const Rect& q, uint8_t* out);
 
 /// out[i] = squared distance from p to (xs[i], ys[i]) (Dist2 per lane).
 void PointDist2Lanes(const double* xs, const double* ys, size_t n,

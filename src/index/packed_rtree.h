@@ -1,0 +1,219 @@
+// Static bulk-loaded R-tree in a packed flat-array layout.
+//
+// PackedRTree answers the same queries as the dynamic RTree (rtree.h) over
+// an immutable point set, but stores the tree as index-addressed flat
+// arrays instead of per-node heap vectors:
+//
+//  * Nodes are level-contiguous: leaves occupy ids [0, leaf_count), each
+//    upper level directly follows its children, the root is the last node.
+//    A node is a leaf iff id < leaf_count — no is_leaf byte, no parent
+//    pointers, no per-node allocations.
+//  * A node's children (or point slots) are the contiguous index run
+//    [first, first + count), so the per-node MBRs live in four global SoA
+//    lanes (lo_x/lo_y/hi_x/hi_y) and a node's child MBRs form a
+//    geom/lanes.h RectLanes view by plain pointer offset — range and
+//    circle queries run the branch-light lane predicates instead of
+//    pointer-chasing an AoS node graph.
+//  * Leaf payloads are global SoA point arrays (px/py/ids) packed in the
+//    chosen space-filling order; every leaf is 100% full except the last.
+//  * Every subtree covers a contiguous slot range of the point arrays, so
+//    a range query that fully contains a child MBR appends the whole
+//    subtree's ids in one contiguous copy instead of descending.
+//
+// Two leaf orders are selectable (PackAlgorithm): STR sort-tile-recursive
+// slicing — the same ordering RTree::BulkLoad derives — and Hilbert-curve
+// ordering over a 2^16 x 2^16 grid. Upper levels pack each run of `fanout`
+// consecutive nodes under one parent (flatbush-style sequential grouping),
+// which is what keeps both the children and the subtree slot ranges
+// contiguous for either order.
+//
+// Bit-identity contract: RangeQuery / CircleRangeQuery / Knn return exactly
+// the id sets (and, for Knn, the order) the dynamic tree returns over the
+// same points. The per-point predicates are the identical IEEE-754 scalar
+// expressions, the range fast path fires only on exact coordinate
+// comparisons, and CircleRangeQuery takes no containment fast path at all
+// (a rounded MaxDist2 bound could disagree with the per-point Dist2 at the
+// boundary). Output *order* of the range queries is layout-defined, as it
+// is for the dynamic tree; callers needing index-independent order sort
+// (mpn/candidates.cc does).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/lanes.h"
+#include "geom/rect.h"
+#include "geom/vec2.h"
+#include "index/rtree.h"
+#include "util/macros.h"
+
+namespace mpn {
+
+/// Leaf ordering used by PackedRTree::Build.
+enum class PackAlgorithm {
+  kStr,      ///< sort-tile-recursive slicing (RTree::BulkLoad's order)
+  kHilbert,  ///< Hilbert-curve order over a quantized 2^16 grid
+};
+
+/// Human-readable packer name ("str" / "hilbert").
+const char* PackAlgorithmName(PackAlgorithm algo);
+
+/// Tuning knobs for the packed tree.
+struct PackedRTreeOptions {
+  /// Children per internal node / points per leaf (the last sibling of a
+  /// level may be short). Matches RTreeOptions::max_entries by default so
+  /// packed and dynamic trees compare at equal fanout. Must be in [2, 256]
+  /// (queries keep per-child scratch on the stack).
+  uint32_t fanout = 32;
+};
+
+/// Immutable packed R-tree over points; payloads are the 32-bit input
+/// indices, as in RTree. Copyable and cheaply movable (flat vectors).
+class PackedRTree {
+ public:
+  /// Empty tree (size() == 0, root() < 0).
+  PackedRTree() = default;
+
+  /// Bulk loads all points at once; ids are 0..points.size()-1. O(n log n)
+  /// — two sorts plus one linear packing pass per level.
+  static PackedRTree Build(const std::vector<Point>& points,
+                           PackAlgorithm algo = PackAlgorithm::kStr,
+                           PackedRTreeOptions options = {});
+
+  /// Number of points stored.
+  size_t size() const { return px_.size(); }
+
+  /// True when no points are stored.
+  bool empty() const { return px_.empty(); }
+
+  /// MBR of the whole tree (empty rect when empty).
+  Rect bounds() const;
+
+  /// Tree height (leaf = 1); 0 when empty.
+  int Height() const { return height_; }
+
+  /// The leaf order this tree was packed with.
+  PackAlgorithm algorithm() const { return algo_; }
+
+  /// Collects ids of all points inside `r` (closed containment). Same id
+  /// set as RTree::RangeQuery; appends to `out` without clearing it, so
+  /// callers can reuse one vector across queries.
+  void RangeQuery(const Rect& r, std::vector<uint32_t>* out) const;
+
+  /// Collects ids of all points within `radius` of `center`.
+  void CircleRangeQuery(const Point& center, double radius,
+                        std::vector<uint32_t>* out) const;
+
+  /// k nearest neighbors of `q` by Euclidean distance, nearest first; ties
+  /// broken by id. Identical output to RTree::Knn.
+  std::vector<uint32_t> Knn(const Point& q, size_t k) const;
+
+  /// Guided traversal with the same contract as RTree::Traverse: descends
+  /// into a child iff `mbr_pred(child_mbr)`, calls `point_fn(point, id)`
+  /// for every entry of a reached leaf.
+  template <typename MbrPred, typename PointFn>
+  void Traverse(MbrPred&& mbr_pred, PointFn&& point_fn) const {
+    if (root_ < 0) return;
+    internal::TraversalStackLease lease;
+    std::vector<int32_t>& stack = *lease;
+    stack.push_back(root_);
+    while (!stack.empty()) {
+      const int32_t idx = stack.back();
+      stack.pop_back();
+      ++internal::tls_rtree_node_accesses;
+      const int32_t first = first_[idx];
+      const int32_t cnt = count_[idx];
+      if (idx < leaf_count_) {
+        for (int32_t i = first; i < first + cnt; ++i) {
+          point_fn(Point{px_[i], py_[i]}, ids_[i]);
+        }
+      } else {
+        for (int32_t i = first; i < first + cnt; ++i) {
+          if (mbr_pred(NodeMbr(i))) stack.push_back(i);
+        }
+      }
+    }
+  }
+
+  // Low-level node access mirroring RTree's cursor interface (index/gnn.h
+  // runs its best-first search over either backend through these).
+
+  /// Root node handle; -1 when empty.
+  int32_t root() const { return root_; }
+
+  /// True when the handle refers to a leaf.
+  bool IsLeafNode(int32_t node) const { return node < leaf_count_; }
+
+  /// Visits (child_handle, child_mbr) pairs of an internal node.
+  template <typename Fn>
+  void ForEachChild(int32_t node, Fn&& fn) const {
+    ++internal::tls_rtree_node_accesses;
+    MPN_DCHECK(!IsLeafNode(node));
+    const int32_t first = first_[node];
+    for (int32_t i = first; i < first + count_[node]; ++i) {
+      fn(i, NodeMbr(i));
+    }
+  }
+
+  /// Visits (point, id) pairs of a leaf node.
+  template <typename Fn>
+  void ForEachLeafEntry(int32_t node, Fn&& fn) const {
+    ++internal::tls_rtree_node_accesses;
+    MPN_DCHECK(IsLeafNode(node));
+    const int32_t first = first_[node];
+    for (int32_t i = first; i < first + count_[node]; ++i) {
+      fn(Point{px_[i], py_[i]}, ids_[i]);
+    }
+  }
+
+  /// Child-MBR lanes of internal `node` — a zero-copy RectLanes view into
+  /// the global SoA arrays (children are contiguous by construction).
+  RectLanes ChildMbrLanes(int32_t node) const {
+    MPN_DCHECK(!IsLeafNode(node));
+    const int32_t first = first_[node];
+    return RectLanes{lo_x_.data() + first, lo_y_.data() + first,
+                     hi_x_.data() + first, hi_y_.data() + first,
+                     static_cast<size_t>(count_[node])};
+  }
+
+  /// Cumulative per-thread node-visit counter (shared with RTree; see
+  /// internal::tls_rtree_node_accesses).
+  uint64_t node_accesses() const { return internal::tls_rtree_node_accesses; }
+
+  /// Resets the calling thread's node-access counter.
+  void ResetNodeAccesses() const { internal::tls_rtree_node_accesses = 0; }
+
+  /// Validates the packed layout (level contiguity, MBR exactness, full
+  /// leaves, contiguous subtree slot ranges). Aborts on violation.
+  void CheckInvariants() const;
+
+ private:
+  Rect NodeMbr(int32_t idx) const {
+    return Rect({lo_x_[idx], lo_y_[idx]}, {hi_x_[idx], hi_y_[idx]});
+  }
+  void PushNode(int32_t first, int32_t count, int32_t slot_begin,
+                int32_t slot_count, const Rect& mbr);
+  // Appends all ids under `node` (one contiguous run of ids_).
+  void EmitSubtree(int32_t node, std::vector<uint32_t>* out) const;
+
+  PackedRTreeOptions options_;
+  PackAlgorithm algo_ = PackAlgorithm::kStr;
+  int32_t root_ = -1;
+  int32_t leaf_count_ = 0;
+  int height_ = 0;
+  // Per-node SoA, leaves first then each level above. `first_` is the first
+  // point slot (leaf) or first child node id (internal); either way the
+  // node's entries are [first, first + count).
+  std::vector<int32_t> first_;
+  std::vector<int32_t> count_;
+  // Contiguous point-slot span covered by the node's subtree.
+  std::vector<int32_t> slot_begin_;
+  std::vector<int32_t> slot_count_;
+  // Node MBR lanes.
+  std::vector<double> lo_x_, lo_y_, hi_x_, hi_y_;
+  // Point payload SoA in packed leaf order.
+  std::vector<double> px_, py_;
+  std::vector<uint32_t> ids_;
+};
+
+}  // namespace mpn

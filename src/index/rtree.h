@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <vector>
 
 #include "geom/rect.h"
@@ -29,6 +30,40 @@ namespace internal {
 /// consumer, see mpn/tile_msr.cc) is unaffected as long as one computation
 /// queries one tree, which holds everywhere in this codebase.
 inline thread_local uint64_t tls_rtree_node_accesses = 0;
+
+/// Leases a cleared DFS stack from a per-thread pool. Traversals used to
+/// construct a std::vector per call, and the candidate loop issues one
+/// pruned traversal per tile per recompute — per-call construction was
+/// steady-state allocator churn in the hottest loop. The pool is a deque
+/// so a nested traversal (a predicate that itself queries an index) gets a
+/// distinct stack without invalidating outstanding references; the stacks
+/// keep their capacity across queries.
+class TraversalStackLease {
+ public:
+  TraversalStackLease() : stack_(Acquire()) { stack_.clear(); }
+  ~TraversalStackLease() { --Pool().depth; }
+  TraversalStackLease(const TraversalStackLease&) = delete;
+  TraversalStackLease& operator=(const TraversalStackLease&) = delete;
+
+  std::vector<int32_t>& operator*() const { return stack_; }
+
+ private:
+  struct StackPool {
+    std::deque<std::vector<int32_t>> stacks;
+    size_t depth = 0;
+  };
+  static StackPool& Pool() {
+    static thread_local StackPool pool;
+    return pool;
+  }
+  static std::vector<int32_t>& Acquire() {
+    StackPool& pool = Pool();
+    if (pool.depth == pool.stacks.size()) pool.stacks.emplace_back();
+    return pool.stacks[pool.depth++];
+  }
+
+  std::vector<int32_t>& stack_;
+};
 }  // namespace internal
 
 /// Tuning knobs for the R-tree.
@@ -82,7 +117,9 @@ class RTree {
   template <typename MbrPred, typename PointFn>
   void Traverse(MbrPred&& mbr_pred, PointFn&& point_fn) const {
     if (root_ < 0) return;
-    std::vector<int32_t> stack{root_};
+    internal::TraversalStackLease lease;
+    std::vector<int32_t>& stack = *lease;
+    stack.push_back(root_);
     while (!stack.empty()) {
       const int32_t idx = stack.back();
       stack.pop_back();

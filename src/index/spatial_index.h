@@ -1,0 +1,173 @@
+// Uniform read-only view over the two spatial index backends.
+//
+// SpatialIndex is a non-owning tagged pointer: every query-layer consumer
+// (index/gnn, mpn/candidates, tile/circle MSR, sim, engine, cluster) takes
+// a SpatialIndex where it used to take `const RTree*`/`const RTree&`, and
+// the implicit converting constructors keep those call sites
+// source-compatible — passing `&tree` or `tree` works for either backend.
+// Dispatch is one pointer test per call; the traversals and cursors are
+// templates, so each backend's loop still inlines whole.
+//
+// PoiIndex owns one backend chosen by IndexKind — the config seam the
+// engine and bench layers use to select the index the same way KernelKind
+// selects verification kernels (mpn/tile_msr.h). Query results are
+// bit-identical across kinds (see index/packed_rtree.h for the contract),
+// so the selection is invisible to digests.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "index/packed_rtree.h"
+#include "index/rtree.h"
+#include "util/macros.h"
+
+namespace mpn {
+
+/// Which spatial index backs the POI set.
+enum class IndexKind {
+  kDynamic,        ///< dynamic RTree (Guttman inserts / STR bulk load)
+  kPackedStr,      ///< PackedRTree, STR leaf order
+  kPackedHilbert,  ///< PackedRTree, Hilbert leaf order
+};
+
+/// Human-readable kind name ("dynamic" / "packed_str" / "packed_hilbert").
+inline const char* IndexKindName(IndexKind kind) {
+  switch (kind) {
+    case IndexKind::kDynamic: return "dynamic";
+    case IndexKind::kPackedStr: return "packed_str";
+    case IndexKind::kPackedHilbert: return "packed_hilbert";
+  }
+  return "unknown";
+}
+
+/// Non-owning view dispatching the shared query interface to one backend.
+/// Copyable; the referenced tree must outlive the view.
+class SpatialIndex {
+ public:
+  /// Invalid view (valid() == false); queries on it are programming errors.
+  SpatialIndex() = default;
+
+  // Implicit by design — see the header comment.
+  SpatialIndex(const RTree* tree) : dyn_(tree) {}             // NOLINT
+  SpatialIndex(const RTree& tree) : dyn_(&tree) {}            // NOLINT
+  SpatialIndex(const PackedRTree* tree) : packed_(tree) {}    // NOLINT
+  SpatialIndex(const PackedRTree& tree) : packed_(&tree) {}   // NOLINT
+
+  bool valid() const { return dyn_ != nullptr || packed_ != nullptr; }
+
+  /// The dynamic backend, or null when packed (and vice versa).
+  const RTree* dynamic_tree() const { return dyn_; }
+  const PackedRTree* packed_tree() const { return packed_; }
+
+  size_t size() const { return packed_ ? packed_->size() : dyn_->size(); }
+  bool empty() const { return packed_ ? packed_->empty() : dyn_->empty(); }
+  Rect bounds() const { return packed_ ? packed_->bounds() : dyn_->bounds(); }
+  int Height() const { return packed_ ? packed_->Height() : dyn_->Height(); }
+
+  void RangeQuery(const Rect& r, std::vector<uint32_t>* out) const {
+    packed_ ? packed_->RangeQuery(r, out) : dyn_->RangeQuery(r, out);
+  }
+
+  void CircleRangeQuery(const Point& center, double radius,
+                        std::vector<uint32_t>* out) const {
+    packed_ ? packed_->CircleRangeQuery(center, radius, out)
+            : dyn_->CircleRangeQuery(center, radius, out);
+  }
+
+  std::vector<uint32_t> Knn(const Point& q, size_t k) const {
+    return packed_ ? packed_->Knn(q, k) : dyn_->Knn(q, k);
+  }
+
+  template <typename MbrPred, typename PointFn>
+  void Traverse(MbrPred&& mbr_pred, PointFn&& point_fn) const {
+    if (packed_ != nullptr) {
+      packed_->Traverse(std::forward<MbrPred>(mbr_pred),
+                        std::forward<PointFn>(point_fn));
+    } else {
+      dyn_->Traverse(std::forward<MbrPred>(mbr_pred),
+                     std::forward<PointFn>(point_fn));
+    }
+  }
+
+  int32_t root() const { return packed_ ? packed_->root() : dyn_->root(); }
+
+  bool IsLeafNode(int32_t node) const {
+    return packed_ ? packed_->IsLeafNode(node) : dyn_->IsLeafNode(node);
+  }
+
+  template <typename Fn>
+  void ForEachChild(int32_t node, Fn&& fn) const {
+    if (packed_ != nullptr) {
+      packed_->ForEachChild(node, std::forward<Fn>(fn));
+    } else {
+      dyn_->ForEachChild(node, std::forward<Fn>(fn));
+    }
+  }
+
+  template <typename Fn>
+  void ForEachLeafEntry(int32_t node, Fn&& fn) const {
+    if (packed_ != nullptr) {
+      packed_->ForEachLeafEntry(node, std::forward<Fn>(fn));
+    } else {
+      dyn_->ForEachLeafEntry(node, std::forward<Fn>(fn));
+    }
+  }
+
+  /// Per-thread node-visit counter (shared across backends; see
+  /// internal::tls_rtree_node_accesses).
+  uint64_t node_accesses() const {
+    return internal::tls_rtree_node_accesses;
+  }
+  void ResetNodeAccesses() const { internal::tls_rtree_node_accesses = 0; }
+
+ private:
+  const RTree* dyn_ = nullptr;
+  const PackedRTree* packed_ = nullptr;
+};
+
+/// Owning POI index with config-driven backend selection. Movable; a view
+/// taken from it stays valid across moves of the *container* only until
+/// the backing tree is destroyed, so take views after the PoiIndex reached
+/// its final home.
+class PoiIndex {
+ public:
+  PoiIndex() = default;
+
+  /// Builds the index of the requested kind over the points; ids are
+  /// 0..points.size()-1. kDynamic uses RTree::BulkLoad (the seed path).
+  static PoiIndex Build(const std::vector<Point>& points, IndexKind kind) {
+    PoiIndex idx;
+    idx.kind_ = kind;
+    switch (kind) {
+      case IndexKind::kDynamic:
+        idx.dyn_ = RTree::BulkLoad(points);
+        break;
+      case IndexKind::kPackedStr:
+        idx.packed_ = PackedRTree::Build(points, PackAlgorithm::kStr);
+        break;
+      case IndexKind::kPackedHilbert:
+        idx.packed_ = PackedRTree::Build(points, PackAlgorithm::kHilbert);
+        break;
+    }
+    return idx;
+  }
+
+  IndexKind kind() const { return kind_; }
+
+  SpatialIndex view() const {
+    return kind_ == IndexKind::kDynamic ? SpatialIndex(&dyn_)
+                                        : SpatialIndex(&packed_);
+  }
+
+  // A PoiIndex converts wherever a SpatialIndex is expected.
+  operator SpatialIndex() const { return view(); }  // NOLINT
+
+ private:
+  IndexKind kind_ = IndexKind::kDynamic;
+  RTree dyn_;
+  PackedRTree packed_;
+};
+
+}  // namespace mpn

@@ -21,9 +21,18 @@ double UserMaxDisplacement(const TileRegion& region, const Point& user,
   return r;
 }
 
+// Normalizes candidate order across index layouts: the traversal emits in
+// layout order, but the verify loop early-exits per candidate and its
+// counters go into the result digest, so the scan order must be a function
+// of the candidate *set* only.
+void SortCandidatesById(std::vector<Candidate>* out) {
+  std::sort(out->begin(), out->end(),
+            [](const Candidate& a, const Candidate& b) { return a.id < b.id; });
+}
+
 }  // namespace
 
-FreshCandidateSource::FreshCandidateSource(const RTree* tree,
+FreshCandidateSource::FreshCandidateSource(SpatialIndex tree,
                                            const std::vector<Point>* users,
                                            Objective obj, uint32_t po_id,
                                            const Point& po, bool use_pruning)
@@ -43,15 +52,16 @@ bool FreshCandidateSource::GetCandidates(
   const size_t m = users.size();
   MPN_DCHECK(regions.size() == m);
   // Tight per-call delta on the calling thread (see node_accesses()).
-  const uint64_t accesses_before = tree_->node_accesses();
+  const uint64_t accesses_before = tree_.node_accesses();
 
   if (!use_pruning_) {  // ablation baseline: every non-result POI
-    tree_->Traverse([](const Rect&) { return true; },
-                    [&](const Point& p, uint32_t id) {
-                      if (id != po_id_) out->push_back({id, p});
-                    });
+    tree_.Traverse([](const Rect&) { return true; },
+                   [&](const Point& p, uint32_t id) {
+                     if (id != po_id_) out->push_back({id, p});
+                   });
+    SortCandidatesById(out);
     stats_.candidates_total += out->size();
-    node_accesses_ += tree_->node_accesses() - accesses_before;
+    node_accesses_ += tree_.node_accesses() - accesses_before;
     return true;
   }
 
@@ -69,7 +79,7 @@ bool FreshCandidateSource::GetCandidates(
       if (!regions[j].empty()) top = std::max(top, regions[j].MaxDist(po_));
     }
     for (size_t j = 0; j < m; ++j) bound_[j] = top + bound_[j];
-    tree_->Traverse(
+    tree_.Traverse(
         [&](const Rect& mbr) {
           for (size_t j = 0; j < m; ++j) {
             if (mbr.MinDist(users[j]) > bound_[j]) return false;
@@ -88,7 +98,7 @@ bool FreshCandidateSource::GetCandidates(
     double sum_r = 0.0;
     for (size_t j = 0; j < m; ++j) sum_r += bound_[j];
     const double bound = AggDist(po_, users, Objective::kSum) + 2.0 * sum_r;
-    tree_->Traverse(
+    tree_.Traverse(
         [&](const Rect& mbr) {
           return AggMinDist(mbr, users, Objective::kSum) <= bound;
         },
@@ -99,13 +109,14 @@ bool FreshCandidateSource::GetCandidates(
           }
         });
   }
+  SortCandidatesById(out);
   stats_.candidates_total += out->size();
-  node_accesses_ += tree_->node_accesses() - accesses_before;
+  node_accesses_ += tree_.node_accesses() - accesses_before;
   return true;
 }
 
 BufferedCandidateSource::BufferedCandidateSource(
-    const RTree& tree, const std::vector<Point>& users, Objective obj, int b)
+    SpatialIndex tree, const std::vector<Point>& users, Objective obj, int b)
     : users_(users), obj_(obj) {
   MPN_ASSERT(b >= 1);
   buffer_ = FindGnn(tree, users_, obj, static_cast<size_t>(b) + 1);

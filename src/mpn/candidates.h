@@ -70,8 +70,11 @@ class FreshCandidateSource : public CandidateSource {
   /// `tree`, `users` must outlive the source. `po_id`/`po`/`po_agg` identify
   /// the current optimum and its aggregate distance. With
   /// `use_pruning = false` the traversal degenerates to a full scan
-  /// (ablation baseline for the Theorem-3/6 pruning).
-  FreshCandidateSource(const RTree* tree, const std::vector<Point>* users,
+  /// (ablation baseline for the Theorem-3/6 pruning). Candidates are
+  /// returned sorted by id: the raw traversal order depends on the index
+  /// layout (index/spatial_index.h), and downstream early-exit scans feed
+  /// their counters into the engine digest, so the order must not.
+  FreshCandidateSource(SpatialIndex tree, const std::vector<Point>* users,
                        Objective obj, uint32_t po_id, const Point& po,
                        bool use_pruning = true);
 
@@ -79,7 +82,7 @@ class FreshCandidateSource : public CandidateSource {
                      const Rect& s, std::vector<Candidate>* out) override;
 
  private:
-  const RTree* tree_;
+  SpatialIndex tree_;
   const std::vector<Point>* users_;
   Objective obj_;
   uint32_t po_id_;
@@ -94,8 +97,9 @@ class FreshCandidateSource : public CandidateSource {
 class BufferedCandidateSource : public CandidateSource {
  public:
   /// Fetches the best b+1 GNNs from the tree (one-time index access) and
-  /// precomputes the distance thresholds beta_1..beta_b.
-  BufferedCandidateSource(const RTree& tree, const std::vector<Point>& users,
+  /// precomputes the distance thresholds beta_1..beta_b. Buffer order is
+  /// the GNN (agg, id) order, identical for every index backend.
+  BufferedCandidateSource(SpatialIndex tree, const std::vector<Point>& users,
                           Objective obj, int b);
 
   bool GetCandidates(const std::vector<TileRegion>& regions, size_t user_i,

@@ -19,7 +19,7 @@ double MaxCircleRadius(double best_agg, double second_agg, size_t m,
                                 : gap / (2.0 * static_cast<double>(m));
 }
 
-CircleMsrResult ComputeCircleMsr(const RTree& tree,
+CircleMsrResult ComputeCircleMsr(SpatialIndex tree,
                                  const std::vector<Point>& users,
                                  Objective obj) {
   MPN_ASSERT(!users.empty());

@@ -146,7 +146,7 @@ bool DivideVerify(std::vector<TileRegion>* regions, size_t user_i,
                           scratch != nullptr ? scratch : &local);
 }
 
-MsrResult ComputeTileMsr(const RTree& tree, const std::vector<Point>& users,
+MsrResult ComputeTileMsr(SpatialIndex tree, const std::vector<Point>& users,
                          Objective obj, const TileMsrConfig& config,
                          const std::vector<MotionHint>& hints) {
   MPN_ASSERT(!users.empty());
@@ -184,7 +184,7 @@ MsrResult ComputeTileMsr(const RTree& tree, const std::vector<Point>& users,
     out.po_agg = circle.po_agg;
     rmax = circle.rmax;
     source = std::make_unique<FreshCandidateSource>(
-        &tree, &users, obj, out.po_id, out.po, config.index_pruning);
+        tree, &users, obj, out.po_id, out.po, config.index_pruning);
   }
   const uint64_t setup_accesses = tree.node_accesses() - setup_before;
 

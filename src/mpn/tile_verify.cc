@@ -1,13 +1,24 @@
 #include "mpn/tile_verify.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 #include <limits>
 
 #include "util/macros.h"
 
 #if defined(__SSE2__)
 #include <emmintrin.h>
+#endif
+
+// The AVX2 path compiles via a per-function target attribute (no global
+// -mavx2), so the binary still runs on SSE2-only machines; the wider path
+// is selected at runtime only when cpuid reports AVX2.
+#if defined(__SSE2__) && defined(__GNUC__)
+#include <immintrin.h>
+#define MPN_HAVE_AVX2_PATH 1
 #endif
 
 namespace mpn {
@@ -41,19 +52,41 @@ inline void FoldLane(double mn2, double mx, double d_o, double t_lt,
   a->minmin_t2 = std::min(a->minmin_t2, below_do ? mn2 : kInf);
 }
 
+// Folds lanes [k, end) with the scalar loop into an existing aggregate —
+// the reference path and the shared tail of both SIMD paths.
+inline void FoldScalarLanes(const RectLanes& r, const double* max_po,
+                            size_t k, size_t end, double px, double py,
+                            double d_o, double t_lt, UserLaneAgg* a) {
+  for (; k < end; ++k) {
+    const double dx =
+        std::max(std::max(r.lo_x[k] - px, 0.0), px - r.hi_x[k]);
+    const double dy =
+        std::max(std::max(r.lo_y[k] - py, 0.0), py - r.hi_y[k]);
+    FoldLane(dx * dx + dy * dy, max_po[k], d_o, t_lt, a);
+  }
+}
+
+// Pure-scalar aggregation (MPN_LANE_ISA=scalar, or no SSE2 at build time).
+UserLaneAgg AggregateUserLanesScalar(const RectLanes& r, const double* max_po,
+                                     size_t begin, size_t end, double px,
+                                     double py, double d_o, double t_lt) {
+  UserLaneAgg a;
+  FoldScalarLanes(r, max_po, begin, end, px, py, d_o, t_lt, &a);
+  return a;
+}
+
+#if defined(__SSE2__)
 // Aggregates lanes [begin, end): squared Rect::MinDist per lane (the exact
 // IEEE square the scalar path feeds to sqrt) plus the five reductions. GCC
 // will not auto-vectorize floating min/max reductions without fast-math,
 // so the two-wide SSE2 form is written out by hand; maxpd/minpd/cmppd are
 // exact IEEE selections and compares, keeping every aggregate bit-identical
 // to the scalar loop (the fallback below and the tail share its code).
-inline UserLaneAgg AggregateUserLanes(const RectLanes& r,
-                                      const double* max_po, size_t begin,
-                                      size_t end, double px, double py,
-                                      double d_o, double t_lt) {
+UserLaneAgg AggregateUserLanesSse2(const RectLanes& r, const double* max_po,
+                                   size_t begin, size_t end, double px,
+                                   double py, double d_o, double t_lt) {
   UserLaneAgg a;
   size_t k = begin;
-#if defined(__SSE2__)
   if (end - k >= 2) {
     const __m128d vpx = _mm_set1_pd(px);
     const __m128d vpy = _mm_set1_pd(py);
@@ -115,18 +148,157 @@ inline UserLaneAgg AggregateUserLanes(const RectLanes& r,
     _mm_storeu_pd(lane2, minmin_t2);
     a.minmin_t2 = std::min(lane2[0], lane2[1]);
   }
-#endif
-  for (; k < end; ++k) {
-    const double dx =
-        std::max(std::max(r.lo_x[k] - px, 0.0), px - r.hi_x[k]);
-    const double dy =
-        std::max(std::max(r.lo_y[k] - py, 0.0), py - r.hi_y[k]);
-    FoldLane(dx * dx + dy * dy, max_po[k], d_o, t_lt, &a);
-  }
+  FoldScalarLanes(r, max_po, k, end, px, py, d_o, t_lt, &a);
   return a;
+}
+#endif  // __SSE2__
+
+#if defined(MPN_HAVE_AVX2_PATH)
+// One four-wide fold step of the AVX2 path (free function rather than a
+// lambda: the target attribute does not propagate into lambda bodies on
+// older GCC).
+__attribute__((target("avx2"))) inline void Fold4Avx2(
+    const RectLanes& r, const double* max_po, size_t at, __m256d vpx,
+    __m256d vpy, __m256d vdo, __m256d vtl, __m256d vzero, __m256d vinf,
+    __m256d* mm_all, __m256d* mn_mx, __m256d* mn_all2, __m256d* mm_s,
+    __m256d* mn_t2) {
+  const __m256d dx = _mm256_max_pd(
+      _mm256_max_pd(_mm256_sub_pd(_mm256_loadu_pd(r.lo_x + at), vpx), vzero),
+      _mm256_sub_pd(vpx, _mm256_loadu_pd(r.hi_x + at)));
+  const __m256d dy = _mm256_max_pd(
+      _mm256_max_pd(_mm256_sub_pd(_mm256_loadu_pd(r.lo_y + at), vpy), vzero),
+      _mm256_sub_pd(vpy, _mm256_loadu_pd(r.hi_y + at)));
+  const __m256d mn2 =
+      _mm256_add_pd(_mm256_mul_pd(dx, dx), _mm256_mul_pd(dy, dy));
+  const __m256d mx = _mm256_loadu_pd(max_po + at);
+  *mm_all = _mm256_max_pd(*mm_all, mx);
+  *mn_mx = _mm256_min_pd(*mn_mx, mx);
+  *mn_all2 = _mm256_min_pd(*mn_all2, mn2);
+  const __m256d below_dp = _mm256_cmp_pd(mn2, vtl, _CMP_LE_OQ);
+  const __m256d below_do = _mm256_cmp_pd(mx, vdo, _CMP_LT_OQ);
+  *mm_s = _mm256_max_pd(*mm_s, _mm256_and_pd(below_dp, mx));
+  *mn_t2 = _mm256_min_pd(*mn_t2,
+                         _mm256_or_pd(_mm256_and_pd(below_do, mn2),
+                                      _mm256_andnot_pd(below_do, vinf)));
+}
+
+// Four-wide AVX2 form of the same fold, dual accumulators (8 lanes per
+// iteration). vmaxpd/vminpd/vcmppd are the same exact IEEE selections as
+// their SSE2 counterparts and the reductions are pure min/max, so every
+// aggregate stays bit-identical to the scalar loop.
+__attribute__((target("avx2"))) UserLaneAgg AggregateUserLanesAvx2(
+    const RectLanes& r, const double* max_po, size_t begin, size_t end,
+    double px, double py, double d_o, double t_lt) {
+  UserLaneAgg a;
+  size_t k = begin;
+  if (end - k >= 4) {
+    const __m256d vpx = _mm256_set1_pd(px);
+    const __m256d vpy = _mm256_set1_pd(py);
+    const __m256d vdo = _mm256_set1_pd(d_o);
+    const __m256d vtl = _mm256_set1_pd(t_lt);
+    const __m256d vzero = _mm256_setzero_pd();
+    const __m256d vinf = _mm256_set1_pd(kInf);
+    __m256d maxmax_all = vzero, min_mx = vinf, minmin_all2 = vinf;
+    __m256d maxmax_s = vzero, minmin_t2 = vinf;
+    __m256d maxmax_all1 = vzero, min_mx1 = vinf, minmin_all21 = vinf;
+    __m256d maxmax_s1 = vzero, minmin_t21 = vinf;
+    for (; k + 8 <= end; k += 8) {
+      Fold4Avx2(r, max_po, k, vpx, vpy, vdo, vtl, vzero, vinf, &maxmax_all,
+                &min_mx, &minmin_all2, &maxmax_s, &minmin_t2);
+      Fold4Avx2(r, max_po, k + 4, vpx, vpy, vdo, vtl, vzero, vinf,
+                &maxmax_all1, &min_mx1, &minmin_all21, &maxmax_s1,
+                &minmin_t21);
+    }
+    for (; k + 4 <= end; k += 4) {
+      Fold4Avx2(r, max_po, k, vpx, vpy, vdo, vtl, vzero, vinf, &maxmax_all,
+                &min_mx, &minmin_all2, &maxmax_s, &minmin_t2);
+    }
+    maxmax_all = _mm256_max_pd(maxmax_all, maxmax_all1);
+    min_mx = _mm256_min_pd(min_mx, min_mx1);
+    minmin_all2 = _mm256_min_pd(minmin_all2, minmin_all21);
+    maxmax_s = _mm256_max_pd(maxmax_s, maxmax_s1);
+    minmin_t2 = _mm256_min_pd(minmin_t2, minmin_t21);
+    double lane4[4];
+    _mm256_storeu_pd(lane4, maxmax_all);
+    a.maxmax_all = std::max(std::max(lane4[0], lane4[1]),
+                            std::max(lane4[2], lane4[3]));
+    _mm256_storeu_pd(lane4, min_mx);
+    a.min_mx = std::min(std::min(lane4[0], lane4[1]),
+                        std::min(lane4[2], lane4[3]));
+    _mm256_storeu_pd(lane4, minmin_all2);
+    a.minmin_all2 = std::min(std::min(lane4[0], lane4[1]),
+                             std::min(lane4[2], lane4[3]));
+    _mm256_storeu_pd(lane4, maxmax_s);
+    a.maxmax_s = std::max(std::max(lane4[0], lane4[1]),
+                          std::max(lane4[2], lane4[3]));
+    _mm256_storeu_pd(lane4, minmin_t2);
+    a.minmin_t2 = std::min(std::min(lane4[0], lane4[1]),
+                           std::min(lane4[2], lane4[3]));
+  }
+  FoldScalarLanes(r, max_po, k, end, px, py, d_o, t_lt, &a);
+  return a;
+}
+#endif  // MPN_HAVE_AVX2_PATH
+
+using LaneAggFn = UserLaneAgg (*)(const RectLanes&, const double*, size_t,
+                                  size_t, double, double, double, double);
+
+// Picks the widest fold the CPU supports. `request` (normally the
+// MPN_LANE_ISA environment variable) pins a narrower path for differential
+// testing and perf triage; requests the hardware cannot honor fall back to
+// the widest supported path at or below the request.
+LaneAggFn ResolveLaneAggFn(const char* request) {
+  const bool want_scalar =
+      request != nullptr && std::strcmp(request, "scalar") == 0;
+  const bool want_sse2 = request != nullptr && std::strcmp(request, "sse2") == 0;
+#if defined(MPN_HAVE_AVX2_PATH)
+  if (!want_scalar && !want_sse2 && __builtin_cpu_supports("avx2")) {
+    return &AggregateUserLanesAvx2;
+  }
+#endif
+#if defined(__SSE2__)
+  if (!want_scalar) return &AggregateUserLanesSse2;
+#endif
+  return &AggregateUserLanesScalar;
+}
+
+// Latched on first use (relaxed is enough: racing resolvers compute the
+// same pointer from the same environment).
+std::atomic<LaneAggFn> g_lane_agg_fn{nullptr};
+
+inline LaneAggFn LaneAggImpl() {
+  LaneAggFn fn = g_lane_agg_fn.load(std::memory_order_relaxed);
+  if (fn == nullptr) {
+    fn = ResolveLaneAggFn(std::getenv("MPN_LANE_ISA"));
+    g_lane_agg_fn.store(fn, std::memory_order_relaxed);
+  }
+  return fn;
+}
+
+inline UserLaneAgg AggregateUserLanes(const RectLanes& r,
+                                      const double* max_po, size_t begin,
+                                      size_t end, double px, double py,
+                                      double d_o, double t_lt) {
+  return LaneAggImpl()(r, max_po, begin, end, px, py, d_o, t_lt);
 }
 
 }  // namespace
+
+const char* LaneIsaName() {
+  const LaneAggFn fn = LaneAggImpl();
+#if defined(MPN_HAVE_AVX2_PATH)
+  if (fn == &AggregateUserLanesAvx2) return "avx2";
+#endif
+#if defined(__SSE2__)
+  if (fn == &AggregateUserLanesSse2) return "sse2";
+#endif
+  (void)fn;
+  return "scalar";
+}
+
+void SetLaneIsaForTesting(const char* isa) {
+  g_lane_agg_fn.store(ResolveLaneAggFn(isa), std::memory_order_relaxed);
+}
 
 bool TileVerifier::VerifyTileThreadSafe(const std::vector<TileRegion>& regions,
                                         size_t user_i, const Rect& s,

@@ -210,4 +210,16 @@ class SumHyperbolaVerifier : public TileVerifier {
   std::unordered_map<uint32_t, double> pending_;
 };
 
+/// Name of the lane-aggregation path the SoA verifier is running on
+/// ("scalar", "sse2" or "avx2"). The widest CPU-supported path is chosen
+/// at first use; MPN_LANE_ISA=scalar|sse2|avx2 in the environment pins a
+/// narrower one (requests the hardware cannot honor fall back).
+const char* LaneIsaName();
+
+/// Test hook: re-resolves the lane-aggregation path as if MPN_LANE_ISA were
+/// `isa` (nullptr = auto-detect). Every path is bit-identical, which is
+/// exactly what differential tests pin down with this. Not thread-safe
+/// against in-flight verifications.
+void SetLaneIsaForTesting(const char* isa);
+
 }  // namespace mpn

@@ -34,11 +34,11 @@ const char* MethodName(Method method) {
   return "?";
 }
 
-MpnServer::MpnServer(const std::vector<Point>* pois, const RTree* tree,
+MpnServer::MpnServer(const std::vector<Point>* pois, SpatialIndex tree,
                      const ServerConfig& config)
     : pois_(pois), tree_(tree), config_(config) {
-  MPN_ASSERT(pois_ != nullptr && tree_ != nullptr);
-  MPN_ASSERT(pois_->size() == tree_->size());
+  MPN_ASSERT(pois_ != nullptr && tree_.valid());
+  MPN_ASSERT(pois_->size() == tree_.size());
 }
 
 MsrResult MpnServer::Recompute(const std::vector<Point>& locations,
@@ -46,7 +46,7 @@ MsrResult MpnServer::Recompute(const std::vector<Point>& locations,
   Timer timer;
   MsrResult result;
   if (config_.method == Method::kCircle) {
-    const CircleMsrResult c = ComputeCircleMsr(*tree_, locations,
+    const CircleMsrResult c = ComputeCircleMsr(tree_, locations,
                                                config_.objective);
     result.po_id = c.po_id;
     result.po = c.po;
@@ -62,7 +62,7 @@ MsrResult MpnServer::Recompute(const std::vector<Point>& locations,
     tc.fanout = config_.verify_fanout;
     tc.kernel = config_.kernel;
     tc.scratch = &scratch_;
-    result = ComputeTileMsr(*tree_, locations, config_.objective, tc, hints);
+    result = ComputeTileMsr(tree_, locations, config_.objective, tc, hints);
   }
   compute_seconds_ += timer.ElapsedSeconds();
   ++recompute_count_;

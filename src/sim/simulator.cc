@@ -25,7 +25,7 @@ void SimMetrics::Merge(const SimMetrics& other) {
   msr.rtree_node_accesses += other.msr.rtree_node_accesses;
 }
 
-Simulator::Simulator(const std::vector<Point>* pois, const RTree* tree,
+Simulator::Simulator(const std::vector<Point>* pois, SpatialIndex tree,
                      std::vector<const Trajectory*> group,
                      const SimOptions& options)
     : pois_(pois), tree_(tree), group_(std::move(group)), options_(options) {}
@@ -40,13 +40,13 @@ SimMetrics Simulator::Run() {
   return engine.session_metrics(0);
 }
 
-SimMetrics RunGroups(const std::vector<Point>& pois, const RTree& tree,
+SimMetrics RunGroups(const std::vector<Point>& pois, SpatialIndex tree,
                      const std::vector<std::vector<const Trajectory*>>& groups,
                      const SimOptions& options) {
   EngineOptions opt;
   opt.threads = 1;
   opt.sim = options;
-  Engine engine(&pois, &tree, opt);
+  Engine engine(&pois, tree, opt);
   for (const auto& group : groups) engine.AdmitSession(group);
   engine.Run();
   return engine.TotalMetrics();

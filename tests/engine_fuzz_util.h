@@ -15,6 +15,8 @@
 
 #include "engine/cluster.h"
 #include "engine/engine.h"
+#include "index/packed_rtree.h"
+#include "index/spatial_index.h"
 #include "traj/generators.h"
 #include "util/rng.h"
 
@@ -26,8 +28,21 @@ inline const Rect kWorld({0, 0}, {20000, 20000});
 struct World {
   std::vector<Point> pois;
   RTree tree;
+  PackedRTree packed_str;
+  PackedRTree packed_hilbert;
   std::vector<Trajectory> trajs;
   size_t group_size = 0;
+
+  /// The same POI set behind the requested index backend; digests must not
+  /// care which one the replay runs on (index_differential_test.cc).
+  SpatialIndex Index(IndexKind kind) const {
+    switch (kind) {
+      case IndexKind::kPackedStr: return SpatialIndex(&packed_str);
+      case IndexKind::kPackedHilbert: return SpatialIndex(&packed_hilbert);
+      case IndexKind::kDynamic: break;
+    }
+    return SpatialIndex(&tree);
+  }
 };
 
 /// One planned session: which trajectories, which tuning, which admission
@@ -81,6 +96,8 @@ inline World MakeFuzzWorld(Rng* rng, size_t n_groups, size_t group_size,
   w.pois = GeneratePois(static_cast<size_t>(rng->UniformInt(120, 280)), popt,
                         rng);
   w.tree = RTree::BulkLoad(w.pois);
+  w.packed_str = PackedRTree::Build(w.pois, PackAlgorithm::kStr);
+  w.packed_hilbert = PackedRTree::Build(w.pois, PackAlgorithm::kHilbert);
   RandomWalkGenerator::Options wopt;
   wopt.world = kWorld;
   wopt.mean_speed = rng->Uniform(30.0, 90.0);
@@ -209,8 +226,9 @@ uint64_t Replay(EngineLike* engine, const World& w, const FuzzPlan& plan) {
 inline uint64_t RunEnginePlan(const World& w, const FuzzPlan& plan,
                               size_t threads,
                               KernelKind kernel = KernelKind::kSoA,
-                              bool parallel_verify = false) {
-  Engine engine(&w.pois, &w.tree,
+                              bool parallel_verify = false,
+                              IndexKind index = IndexKind::kDynamic) {
+  Engine engine(&w.pois, w.Index(index),
                 MakeEngineOptions(threads, kernel, parallel_verify));
   return Replay(&engine, w, plan);
 }
@@ -218,7 +236,8 @@ inline uint64_t RunEnginePlan(const World& w, const FuzzPlan& plan,
 inline uint64_t RunClusterPlan(const World& w, const FuzzPlan& plan,
                                size_t workers, size_t threads,
                                KernelKind kernel = KernelKind::kSoA,
-                               bool with_crashes = true) {
+                               bool with_crashes = true,
+                               IndexKind index = IndexKind::kDynamic) {
   ClusterOptions opt;
   opt.workers = workers;
   opt.engine = MakeEngineOptions(threads, kernel);
@@ -233,7 +252,7 @@ inline uint64_t RunClusterPlan(const World& w, const FuzzPlan& plan,
   opt.transport.heartbeat_interval_ms = 100;
   opt.transport.heartbeat_timeout_ms = 500;
   opt.transport.heartbeat_miss_budget = 3;
-  ClusterEngine cluster(&w.pois, &w.tree, opt);
+  ClusterEngine cluster(&w.pois, w.Index(index), opt);
   if (with_crashes) {
     for (const PlannedCrash& crash : plan.crashes) {
       cluster.KillWorkerAt(crash.shard_slot % workers, crash.timestamp);

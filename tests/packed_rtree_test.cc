@@ -1,0 +1,207 @@
+// Packed R-tree tests: structural invariants of the flat layout, query
+// correctness against brute force, and — the load-bearing property — id-set
+// identity with the dynamic RTree for both packing algorithms under fuzzed
+// point sets and queries (the engine-level digest enforcement lives in
+// index_differential_test.cc).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "index/packed_rtree.h"
+#include "index/rtree.h"
+#include "index/spatial_index.h"
+#include "util/rng.h"
+
+namespace mpn {
+namespace {
+
+std::vector<Point> RandomPoints(size_t n, uint64_t seed,
+                                double extent = 1000.0) {
+  Rng rng(seed);
+  std::vector<Point> pts;
+  pts.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    pts.push_back({rng.Uniform(0, extent), rng.Uniform(0, extent)});
+  }
+  return pts;
+}
+
+std::vector<uint32_t> BruteRange(const std::vector<Point>& pts,
+                                 const Rect& r) {
+  std::vector<uint32_t> out;
+  for (size_t i = 0; i < pts.size(); ++i) {
+    if (r.Contains(pts[i])) out.push_back(static_cast<uint32_t>(i));
+  }
+  return out;
+}
+
+std::vector<uint32_t> BruteCircle(const std::vector<Point>& pts,
+                                  const Point& c, double radius) {
+  std::vector<uint32_t> out;
+  for (size_t i = 0; i < pts.size(); ++i) {
+    if (Dist2(c, pts[i]) <= radius * radius) {
+      out.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  return out;
+}
+
+std::vector<uint32_t> Sorted(std::vector<uint32_t> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+class PackedRTreeAlgoTest : public testing::TestWithParam<PackAlgorithm> {};
+
+TEST_P(PackedRTreeAlgoTest, EmptyTree) {
+  const PackedRTree tree = PackedRTree::Build({}, GetParam());
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.Height(), 0);
+  EXPECT_TRUE(tree.bounds().IsEmpty());
+  std::vector<uint32_t> out;
+  tree.RangeQuery(Rect({0, 0}, {10, 10}), &out);
+  EXPECT_TRUE(out.empty());
+  tree.CircleRangeQuery({5, 5}, 100.0, &out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_TRUE(tree.Knn({5, 5}, 3).empty());
+  tree.CheckInvariants();
+}
+
+TEST_P(PackedRTreeAlgoTest, InvariantsAcrossSizesAndFanouts) {
+  for (size_t n : {1u, 2u, 31u, 32u, 33u, 100u, 1000u}) {
+    const std::vector<Point> pts = RandomPoints(n, 0xBEEF00 + n);
+    for (uint32_t fanout : {2u, 8u, 32u}) {
+      PackedRTreeOptions opt;
+      opt.fanout = fanout;
+      const PackedRTree tree = PackedRTree::Build(pts, GetParam(), opt);
+      EXPECT_EQ(tree.size(), n);
+      tree.CheckInvariants();
+    }
+  }
+}
+
+TEST_P(PackedRTreeAlgoTest, QueriesMatchBruteForce) {
+  const size_t n = 500;
+  const std::vector<Point> pts = RandomPoints(n, 0xFACE01);
+  const PackedRTree tree = PackedRTree::Build(pts, GetParam());
+  Rng rng(0xFACE02);
+  std::vector<uint32_t> out;
+  for (int q = 0; q < 200; ++q) {
+    const Point a{rng.Uniform(0, 1000), rng.Uniform(0, 1000)};
+    const double w = rng.Uniform(0, 300), h = rng.Uniform(0, 300);
+    const Rect r({a.x, a.y}, {a.x + w, a.y + h});
+    out.clear();
+    tree.RangeQuery(r, &out);
+    EXPECT_EQ(Sorted(out), BruteRange(pts, r));
+
+    const double radius = rng.Uniform(0, 250);
+    out.clear();
+    tree.CircleRangeQuery(a, radius, &out);
+    EXPECT_EQ(Sorted(out), BruteCircle(pts, a, radius));
+  }
+}
+
+TEST_P(PackedRTreeAlgoTest, FuzzedIdSetsIdenticalToDynamicTree) {
+  Rng rng(0xD1FF10);
+  for (int round = 0; round < 20; ++round) {
+    const size_t n = static_cast<size_t>(rng.UniformInt(1, 800));
+    std::vector<Point> pts = RandomPoints(n, rng.Next());
+    if (rng.Bernoulli(0.3)) {
+      // Duplicate coordinates stress the (coordinate, id) tie-breaks.
+      for (size_t i = 0; i + 1 < pts.size(); i += 2) pts[i + 1] = pts[i];
+    }
+    const RTree dynamic = RTree::BulkLoad(pts);
+    const PackedRTree packed = PackedRTree::Build(pts, GetParam());
+    packed.CheckInvariants();
+    std::vector<uint32_t> a, b;
+    for (int q = 0; q < 30; ++q) {
+      const Point c{rng.Uniform(-50, 1050), rng.Uniform(-50, 1050)};
+      const double w = rng.Uniform(0, 400), h = rng.Uniform(0, 400);
+      const Rect r({c.x, c.y}, {c.x + w, c.y + h});
+      a.clear();
+      b.clear();
+      dynamic.RangeQuery(r, &a);
+      packed.RangeQuery(r, &b);
+      EXPECT_EQ(Sorted(a), Sorted(b));
+
+      const double radius = rng.Uniform(0, 300);
+      a.clear();
+      b.clear();
+      dynamic.CircleRangeQuery(c, radius, &a);
+      packed.CircleRangeQuery(c, radius, &b);
+      EXPECT_EQ(Sorted(a), Sorted(b));
+
+      // Knn must agree element-for-element (order included): both heaps
+      // pop points in global (distance, id) order whatever the tree shape.
+      const size_t k = static_cast<size_t>(rng.UniformInt(1, 12));
+      EXPECT_EQ(dynamic.Knn(c, k), packed.Knn(c, k));
+    }
+  }
+}
+
+TEST_P(PackedRTreeAlgoTest, LeavesAreFullAndQueriesAppend) {
+  const std::vector<Point> pts = RandomPoints(320, 0xABCD01);
+  const PackedRTree tree = PackedRTree::Build(pts, GetParam());
+  // 320 points at fanout 32 = exactly 10 full leaves, height 2.
+  EXPECT_EQ(tree.Height(), 2);
+  std::vector<uint32_t> out = {9999};
+  tree.RangeQuery(Rect({0, 0}, {1000, 1000}), &out);
+  ASSERT_EQ(out.size(), 321u);  // appended, not cleared
+  EXPECT_EQ(out[0], 9999u);
+}
+
+TEST_P(PackedRTreeAlgoTest, SpatialIndexFacadeDispatches) {
+  const std::vector<Point> pts = RandomPoints(200, 0x5EED01);
+  const RTree dynamic = RTree::BulkLoad(pts);
+  const PackedRTree packed = PackedRTree::Build(pts, GetParam());
+  const SpatialIndex dyn_view(&dynamic);
+  const SpatialIndex packed_view(&packed);
+  EXPECT_TRUE(dyn_view.valid());
+  EXPECT_TRUE(packed_view.valid());
+  EXPECT_EQ(dyn_view.size(), packed_view.size());
+  const Rect r({100, 100}, {600, 600});
+  std::vector<uint32_t> a, b;
+  dyn_view.RangeQuery(r, &a);
+  packed_view.RangeQuery(r, &b);
+  EXPECT_EQ(Sorted(a), Sorted(b));
+  // Traverse sees every point exactly once through the facade.
+  size_t seen = 0;
+  packed_view.Traverse([](const Rect&) { return true; },
+                       [&](const Point&, uint32_t) { ++seen; });
+  EXPECT_EQ(seen, pts.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Algos, PackedRTreeAlgoTest,
+                         testing::Values(PackAlgorithm::kStr,
+                                         PackAlgorithm::kHilbert),
+                         [](const testing::TestParamInfo<PackAlgorithm>& i) {
+                           return std::string(PackAlgorithmName(i.param));
+                         });
+
+TEST(PoiIndexTest, BuildsEveryKind) {
+  const std::vector<Point> pts = RandomPoints(150, 0x90D501);
+  for (IndexKind kind : {IndexKind::kDynamic, IndexKind::kPackedStr,
+                         IndexKind::kPackedHilbert}) {
+    const PoiIndex index = PoiIndex::Build(pts, kind);
+    EXPECT_EQ(index.kind(), kind);
+    const SpatialIndex view = index;  // implicit conversion
+    EXPECT_TRUE(view.valid());
+    EXPECT_EQ(view.size(), pts.size());
+    std::vector<uint32_t> out;
+    view.RangeQuery(Rect({0, 0}, {1000, 1000}), &out);
+    EXPECT_EQ(out.size(), pts.size());
+  }
+}
+
+TEST(PoiIndexTest, KindNamesAreStable) {
+  // Config files and bench tables key on these strings.
+  EXPECT_STREQ(IndexKindName(IndexKind::kDynamic), "dynamic");
+  EXPECT_STREQ(IndexKindName(IndexKind::kPackedStr), "packed_str");
+  EXPECT_STREQ(IndexKindName(IndexKind::kPackedHilbert), "packed_hilbert");
+  EXPECT_STREQ(PackAlgorithmName(PackAlgorithm::kStr), "str");
+  EXPECT_STREQ(PackAlgorithmName(PackAlgorithm::kHilbert), "hilbert");
+}
+
+}  // namespace
+}  // namespace mpn
