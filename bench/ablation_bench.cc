@@ -103,7 +103,7 @@ void Run() {
               FormatDouble(b.candidates_per_retrieval, 1),
               FormatDouble(b.tiles_added, 1)});
     t.Print("A. index pruning (Theorem 3)");
-    t.WriteCsv("ablation_pruning.csv");
+    t.WriteCsv(CsvPath("ablation_pruning.csv"));
   }
 
   // B. GT vs IT verification inside the engine. IT's tile-group count is
@@ -124,7 +124,7 @@ void Run() {
                 FormatDouble(b.tiles_added, 1)});
     }
     t.Print("B. GT-Verify vs exhaustive IT-Verify");
-    t.WriteCsv("ablation_verify.csv");
+    t.WriteCsv(CsvPath("ablation_verify.csv"));
   }
 
   // C. Directed cone width.
@@ -144,7 +144,7 @@ void Run() {
                 FormatDouble(r.region_values_compressed, 1)});
     }
     t.Print("C. directed ordering cone width");
-    t.WriteCsv("ablation_theta.csv");
+    t.WriteCsv(CsvPath("ablation_theta.csv"));
   }
 
   // D. Compression.
@@ -166,7 +166,7 @@ void Run() {
                       static_cast<size_t>(r.region_values_compressed / 3.0))),
                   0)});
     t.Print("D. tile-region shipping cost (per region, alpha=30)");
-    t.WriteCsv("ablation_compression.csv");
+    t.WriteCsv(CsvPath("ablation_compression.csv"));
   }
 }
 

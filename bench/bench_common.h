@@ -10,6 +10,9 @@
 // paper makes (it only shortens trajectories and uses fewer groups).
 #pragma once
 
+#include <sys/stat.h>
+#include <sys/types.h>
+
 #include <cstdlib>
 #include <string>
 #include <vector>
@@ -119,6 +122,31 @@ inline ServerConfig MakeServerConfig(Method method, Objective obj,
   config.split_level = 2;
   config.buffer_b = buffer_b;
   return config;
+}
+
+/// Directory every bench CSV lands in: MPN_BENCH_OUTDIR if set, otherwise
+/// ./bench-results (gitignored). Created (including parents) on first use
+/// so `./build/bench/fig13` run by hand never litters the repo root with
+/// stray fig13_*.csv files again; creation is best-effort — WriteCsv
+/// reports the actual I/O failure if the path is unusable.
+inline const std::string& OutDir() {
+  static const std::string dir = [] {
+    const char* env = std::getenv("MPN_BENCH_OUTDIR");
+    std::string d = (env != nullptr && *env != '\0') ? env : "bench-results";
+    while (d.size() > 1 && d.back() == '/') d.pop_back();
+    for (size_t slash = d.find('/', d.front() == '/' ? 1 : 0);;
+         slash = d.find('/', slash + 1)) {
+      ::mkdir(d.substr(0, slash).c_str(), 0777);
+      if (slash == std::string::npos) break;
+    }
+    return d;
+  }();
+  return dir;
+}
+
+/// Output path for one CSV table ("<outdir>/<name>").
+inline std::string CsvPath(const std::string& name) {
+  return OutDir() + "/" + name;
 }
 
 /// Prints a shared bench banner.

@@ -42,11 +42,11 @@ void Run() {
       cpu_ms.AddRow(crow);
     }
     freq.Print("Fig. 13 " + set.name + " — update frequency (updates/ts)");
-    freq.WriteCsv("fig13_" + set.name + "_freq.csv");
+    freq.WriteCsv(CsvPath("fig13_" + set.name + "_freq.csv"));
     packets.Print("Fig. 13 " + set.name + " — packets per group");
-    packets.WriteCsv("fig13_" + set.name + "_packets.csv");
+    packets.WriteCsv(CsvPath("fig13_" + set.name + "_packets.csv"));
     cpu_ms.Print("Fig. 13 " + set.name + " — CPU ms per update");
-    cpu_ms.WriteCsv("fig13_" + set.name + "_cpu.csv");
+    cpu_ms.WriteCsv(CsvPath("fig13_" + set.name + "_cpu.csv"));
   }
 }
 

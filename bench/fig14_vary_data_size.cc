@@ -40,9 +40,9 @@ void Run() {
       packets.AddRow(prow);
     }
     freq.Print("Fig. 14 " + set.name + " — update frequency (updates/ts)");
-    freq.WriteCsv("fig14_" + set.name + "_freq.csv");
+    freq.WriteCsv(CsvPath("fig14_" + set.name + "_freq.csv"));
     packets.Print("Fig. 14 " + set.name + " — packets per group");
-    packets.WriteCsv("fig14_" + set.name + "_packets.csv");
+    packets.WriteCsv(CsvPath("fig14_" + set.name + "_packets.csv"));
   }
 }
 

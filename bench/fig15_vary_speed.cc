@@ -45,9 +45,9 @@ void Run() {
       packets.AddRow(prow);
     }
     freq.Print("Fig. 15 " + base.name + " — update frequency (updates/ts)");
-    freq.WriteCsv("fig15_" + base.name + "_freq.csv");
+    freq.WriteCsv(CsvPath("fig15_" + base.name + "_freq.csv"));
     packets.Print("Fig. 15 " + base.name + " — packets per group");
-    packets.WriteCsv("fig15_" + base.name + "_packets.csv");
+    packets.WriteCsv(CsvPath("fig15_" + base.name + "_packets.csv"));
   }
 }
 

@@ -38,7 +38,7 @@ void Run() {
                                1)});
   }
   table.Print("Fig. 16 — Tile-D vs Tile-D-b (" + set.name + ")");
-  table.WriteCsv("fig16_buffering.csv");
+  table.WriteCsv(CsvPath("fig16_buffering.csv"));
 }
 
 }  // namespace

@@ -39,11 +39,11 @@ void Run() {
       cpu_ms.AddRow(crow);
     }
     freq.Print("Fig. 17 " + set.name + " — update frequency (updates/ts)");
-    freq.WriteCsv("fig17_" + set.name + "_freq.csv");
+    freq.WriteCsv(CsvPath("fig17_" + set.name + "_freq.csv"));
     packets.Print("Fig. 17 " + set.name + " — packets per group");
-    packets.WriteCsv("fig17_" + set.name + "_packets.csv");
+    packets.WriteCsv(CsvPath("fig17_" + set.name + "_packets.csv"));
     cpu_ms.Print("Fig. 17 " + set.name + " — CPU ms per update");
-    cpu_ms.WriteCsv("fig17_" + set.name + "_cpu.csv");
+    cpu_ms.WriteCsv(CsvPath("fig17_" + set.name + "_cpu.csv"));
   }
 }
 

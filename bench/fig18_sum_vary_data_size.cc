@@ -35,9 +35,9 @@ void Run() {
       packets.AddRow(prow);
     }
     freq.Print("Fig. 18 " + set.name + " — update frequency (updates/ts)");
-    freq.WriteCsv("fig18_" + set.name + "_freq.csv");
+    freq.WriteCsv(CsvPath("fig18_" + set.name + "_freq.csv"));
     packets.Print("Fig. 18 " + set.name + " — packets per group");
-    packets.WriteCsv("fig18_" + set.name + "_packets.csv");
+    packets.WriteCsv(CsvPath("fig18_" + set.name + "_packets.csv"));
   }
 }
 

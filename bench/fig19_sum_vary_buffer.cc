@@ -36,7 +36,7 @@ void Run() {
                                1)});
   }
   table.Print("Fig. 19 — Tile-D vs Tile-D-b, SUM (" + set.name + ")");
-  table.WriteCsv("fig19_sum_buffering.csv");
+  table.WriteCsv(CsvPath("fig19_sum_buffering.csv"));
 }
 
 }  // namespace

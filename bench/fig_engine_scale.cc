@@ -40,8 +40,18 @@
 //     layouts (index/packed_rtree.h). Digests must be bit-identical;
 //     query_speedup (mixed range+circle probe throughput over the
 //     insert-built tree) is the CI-gated packed-layout win.
+//  8. Out-of-core spill: thousands of m=2 sessions (1M+ in full mode)
+//     under a fixed memory budget (engine/session_store.h). The digest
+//     must be bit-identical to the unbudgeted run across thread counts
+//     and cluster shards, the spill/rehydrate counters are exact at one
+//     thread, and peak RSS is sampled to show the cap actually bounds
+//     resident session state.
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.h"
@@ -134,7 +144,7 @@ void RunScaleTable(const std::vector<Point>& pois, const RTree& tree,
     }
   }
   table.Print("Engine scale — per-session parallelism (Tile-D, m=3)");
-  table.WriteCsv("fig_engine_scale.csv");
+  table.WriteCsv(CsvPath("fig_engine_scale.csv"));
 }
 
 void RunStragglerTable(const std::vector<Point>& pois, const RTree& tree,
@@ -182,7 +192,7 @@ void RunStragglerTable(const std::vector<Point>& pois, const RTree& tree,
   }
   table.Print("Engine scale — straggler isolation (one session padded 10x; "
               "others_p99 should match the straggler-free row)");
-  table.WriteCsv("fig_engine_scale_straggler.csv");
+  table.WriteCsv(CsvPath("fig_engine_scale_straggler.csv"));
 }
 
 void RunChurnTable(const std::vector<Point>& pois, const RTree& tree,
@@ -225,7 +235,7 @@ void RunChurnTable(const std::vector<Point>& pois, const RTree& tree,
   }
   table.Print("Engine scale — churn (half admitted mid-run, quarter retired "
               "at half horizon)");
-  table.WriteCsv("fig_engine_scale_churn.csv");
+  table.WriteCsv(CsvPath("fig_engine_scale_churn.csv"));
 }
 
 void RunClusterTable(const std::vector<Point>& pois, const RTree& tree,
@@ -262,7 +272,7 @@ void RunClusterTable(const std::vector<Point>& pois, const RTree& tree,
   }
   table.Print("Engine scale — process shards (forked workers, groups routed "
               "by id % shards; digest vs single-process engine)");
-  table.WriteCsv("fig_engine_scale_cluster.csv");
+  table.WriteCsv(CsvPath("fig_engine_scale_cluster.csv"));
 }
 
 void RunRecoveryTable(const std::vector<Point>& pois, const RTree& tree,
@@ -321,7 +331,7 @@ void RunRecoveryTable(const std::vector<Point>& pois, const RTree& tree,
   table.Print("Engine scale — elastic recovery (one worker killed mid-run, "
               "one drain reply corrupted in flight; digest vs "
               "single-process engine)");
-  table.WriteCsv("fig_engine_scale_recovery.csv");
+  table.WriteCsv(CsvPath("fig_engine_scale_recovery.csv"));
 }
 
 // Scalar vs SoA verification kernels over the full engine loop (single
@@ -356,7 +366,7 @@ void RunKernelTable(const std::vector<Point>& pois, const RTree& tree,
   }
   table.Print("Engine scale — scalar vs SoA verification kernels (Tile-D, "
               "1 thread)");
-  table.WriteCsv("fig_engine_scale_kernels.csv");
+  table.WriteCsv(CsvPath("fig_engine_scale_kernels.csv"));
 }
 
 /// Index ablation: the same workload over the dynamic R-tree (insert-built
@@ -450,7 +460,216 @@ void RunIndexTable(const std::vector<Point>& pois,
   }
   table.Print("Engine scale — dynamic vs packed spatial index (Tile-D, "
               "1 thread)");
-  table.WriteCsv("fig_engine_scale_index.csv");
+  table.WriteCsv(CsvPath("fig_engine_scale_index.csv"));
+}
+
+// --- out-of-core session spill (8) -----------------------------------------
+
+/// Current VmRSS of this process in bytes (0 if /proc is unreadable).
+size_t ReadVmRssBytes() {
+  FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  size_t kb = 0;
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::strncmp(line, "VmRSS:", 6) == 0) {
+      kb = std::strtoull(line + 6, nullptr, 10);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb * 1024;
+}
+
+/// Samples VmRSS on a background thread while a run is in flight and keeps
+/// the maximum — peak RSS *during this run*, unlike VmHWM which never
+/// resets across the rows of the table.
+class RssSampler {
+ public:
+  RssSampler() : peak_(ReadVmRssBytes()) {
+    thread_ = std::thread([this] {
+      while (!stop_.load(std::memory_order_acquire)) {
+        const size_t rss = ReadVmRssBytes();
+        if (rss > peak_) peak_ = rss;
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+    });
+  }
+  size_t Stop() {
+    stop_.store(true, std::memory_order_release);
+    thread_.join();
+    const size_t rss = ReadVmRssBytes();
+    return rss > peak_ ? rss : peak_;
+  }
+
+ private:
+  size_t peak_;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+struct SpillRun {
+  uint64_t digest = 0;
+  MemoryStats mem;
+  double seconds = 0.0;
+  size_t rss_peak = 0;
+};
+
+SpillRun RunSpillOnce(const std::vector<Point>& pois, const RTree& tree,
+                      const std::vector<std::vector<const Trajectory*>>&
+                          groups,
+                      size_t n_sessions, size_t threads, size_t cap_bytes,
+                      const ServerConfig& server) {
+  EngineOptions opt;
+  opt.threads = threads;
+  opt.sim.server = server;
+  opt.budget.bytes_cap = cap_bytes;
+  Engine engine(&pois, &tree, opt);
+  RssSampler rss;
+  Timer timer;
+  for (size_t i = 0; i < n_sessions; ++i) {
+    engine.AdmitSession(groups[i % groups.size()]);
+  }
+  engine.Run();
+  SpillRun r;
+  r.seconds = timer.ElapsedSeconds();
+  r.rss_peak = rss.Stop();
+  r.digest = engine.ResultDigest();
+  r.mem = engine.memory_stats();
+  return r;
+}
+
+SpillRun RunSpillClusterOnce(const std::vector<Point>& pois,
+                             const RTree& tree,
+                             const std::vector<std::vector<const Trajectory*>>&
+                                 groups,
+                             size_t n_sessions, size_t shards,
+                             size_t cap_bytes, const ServerConfig& server) {
+  ClusterOptions opt;
+  opt.workers = shards;
+  opt.engine.threads = 1;
+  opt.engine.sim.server = server;
+  opt.engine.budget.bytes_cap = cap_bytes;  // per-shard cap
+  ClusterEngine cluster(&pois, &tree, opt);
+  RssSampler rss;
+  Timer timer;
+  for (size_t i = 0; i < n_sessions; ++i) {
+    cluster.AdmitSession(groups[i % groups.size()]);
+  }
+  cluster.Run();
+  SpillRun r;
+  r.seconds = timer.ElapsedSeconds();
+  r.rss_peak = rss.Stop();
+  r.digest = cluster.ResultDigest();
+  r.mem = cluster.memory_stats();
+  return r;
+}
+
+/// The ROADMAP acceptance table: sessions far beyond what fits resident,
+/// run under a fixed byte cap. Counters are printed exactly only where
+/// they are deterministic (single-threaded, single-process); the digest
+/// must match the unbudgeted reference in every row. 2048 sessions in
+/// quick mode; full mode adds a 1M+-session row (the "millions of users"
+/// north star) checked via two-cap digest identity.
+void RunSpillTable(const std::vector<Point>& pois, const RTree& tree) {
+  // Dedicated small workload: m=2 groups over a shared pool of 64 short
+  // trajectories, so session count — not trajectory storage — dominates.
+  const BenchEnv env = GetBenchEnv();
+  const size_t m = 2;
+  const size_t n_trajs = 64;
+  const size_t timestamps = 16;
+  Rng rng(0x5B111);
+  RandomWalkGenerator::Options wopt;
+  wopt.world = kWorld;
+  wopt.mean_speed = 1.5;
+  wopt.heading_sigma = 0.06;
+  const RandomWalkGenerator gen(wopt);
+  const std::vector<Trajectory> trajs =
+      gen.GenerateGroupedFleet(n_trajs, m, 2000.0, timestamps, &rng);
+  const auto groups = MakeGroups(trajs, m, m);
+  const ServerConfig server =
+      MakeServerConfig(Method::kCircle, Objective::kMax);
+
+  const size_t quick_sessions = 2048;
+  const size_t quick_cap = 256 * 1024;  // bytes; far below resident demand
+
+  Table table({"sessions", "threads", "shards", "budget_kb", "spilled",
+               "rehydrated", "spilled_kb", "peak_resident_kb", "rss_mb",
+               "seconds", "deterministic"});
+  const auto add_row = [&table](size_t sessions, size_t threads,
+                                size_t shards, size_t cap_bytes,
+                                const SpillRun& r, bool exact_counters,
+                                bool ok) {
+    table.AddRow(
+        {std::to_string(sessions), std::to_string(threads),
+         shards == 0 ? "-" : std::to_string(shards),
+         std::to_string(cap_bytes / 1024),
+         exact_counters ? std::to_string(r.mem.spilled_sessions) : "-",
+         exact_counters ? std::to_string(r.mem.rehydrated_sessions) : "-",
+         exact_counters ? std::to_string(r.mem.spilled_bytes / 1024) : "-",
+         exact_counters ? std::to_string(r.mem.peak_resident_bytes / 1024)
+                        : "-",
+         FormatDouble(static_cast<double>(r.rss_peak) / (1024.0 * 1024.0), 1),
+         FormatDouble(r.seconds, 3), ok ? "yes" : "NO"});
+  };
+
+  // Unbudgeted reference: digest D0, nothing may spill.
+  const SpillRun base =
+      RunSpillOnce(pois, tree, groups, quick_sessions, 1, 0, server);
+  add_row(quick_sessions, 1, 0, 0, base, true,
+          base.mem.spilled_sessions == 0);
+
+  // Budgeted single-thread row: spill counters deterministic and gated
+  // exactly in the baselines; the spill path must actually run, and the
+  // charged resident peak must stay at the cap (eviction is synchronous
+  // on the charging thread, so the overshoot is at most one snapshot —
+  // peak_resident_kb itself stays a timing-class column because the
+  // exact overshoot byte count is interleaving-dependent).
+  const SpillRun b1 =
+      RunSpillOnce(pois, tree, groups, quick_sessions, 1, quick_cap, server);
+  add_row(quick_sessions, 1, 0, quick_cap, b1, true,
+          b1.digest == base.digest && b1.mem.spilled_sessions > 0 &&
+              b1.mem.rehydrated_sessions > 0 &&
+              b1.mem.peak_resident_bytes <= quick_cap + quick_cap / 4);
+
+  // Thread scaling: counters race (victim selection depends on timing) so
+  // only the digest is gated.
+  for (const size_t threads : {size_t{2}, size_t{4}}) {
+    const SpillRun r = RunSpillOnce(pois, tree, groups, quick_sessions,
+                                    threads, quick_cap, server);
+    add_row(quick_sessions, threads, 0, quick_cap, r, false,
+            r.digest == base.digest && r.mem.spilled_sessions > 0);
+  }
+
+  // Cluster shards with a per-shard cap: spill totals arrive over the
+  // drain protocol; the merged digest must still match D0.
+  const SpillRun c2 = RunSpillClusterOnce(pois, tree, groups, quick_sessions,
+                                          2, quick_cap, server);
+  add_row(quick_sessions, 1, 2, quick_cap, c2, false,
+          c2.digest == base.digest && c2.mem.spilled_sessions > 0);
+
+  if (env.full) {
+    // 1M+ sessions under a fixed cap — would be ~GBs resident unbudgeted.
+    // No unbudgeted reference at this scale (that is the point); digest
+    // identity across two different caps certifies the spill round trip,
+    // since any serialization loss would move at least one of them.
+    const size_t big = size_t{1} << 20;
+    const SpillRun f1 = RunSpillOnce(pois, tree, groups, big, 1,
+                                     4 * 1024 * 1024, server);
+    add_row(big, 1, 0, 4 * 1024 * 1024, f1, true,
+            f1.mem.spilled_sessions > 0 &&
+                f1.mem.peak_resident_bytes <= 4 * 1024 * 1024 + 64 * 1024);
+    const SpillRun f2 = RunSpillOnce(pois, tree, groups, big, 1,
+                                     16 * 1024 * 1024, server);
+    add_row(big, 1, 0, 16 * 1024 * 1024, f2, true,
+            f2.digest == f1.digest && f2.mem.spilled_sessions > 0);
+    std::printf("1M-session RSS under 4 MB evictable cap: %.1f MB peak\n",
+                static_cast<double>(f1.rss_peak) / (1024.0 * 1024.0));
+  }
+
+  table.Print("Engine scale — out-of-core session spill (Circle, m=2, "
+              "horizon 16; budget caps resident session state)");
+  table.WriteCsv(CsvPath("fig_engine_scale_spill.csv"));
 }
 
 void Run() {
@@ -501,6 +720,7 @@ void Run() {
   RunKernelTable(pois, tree, groups, {1, std::min<size_t>(16, max_groups)},
                  server);
   RunIndexTable(pois, groups, std::min<size_t>(16, max_groups), server);
+  RunSpillTable(pois, tree);
 
   // Per-user verification fan-out on one group: same results, candidate
   // scans spread across the pool. Buffered retrieval keeps candidate lists
@@ -519,7 +739,7 @@ void Run() {
   }
   fan.Print("Engine scale — per-user verification fan-out (1 group, "
             "Tile-D-b)");
-  fan.WriteCsv("fig_engine_scale_fanout.csv");
+  fan.WriteCsv(CsvPath("fig_engine_scale_fanout.csv"));
 }
 
 }  // namespace

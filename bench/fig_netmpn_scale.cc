@@ -150,7 +150,7 @@ void Run() {
          r.identical ? "yes" : "NO"});
   }
   table.Print("netmpn scale — CH vs Dijkstra (m=4, N=256 POIs, MAX)");
-  table.WriteCsv("fig_netmpn_scale.csv");
+  table.WriteCsv(CsvPath("fig_netmpn_scale.csv"));
 }
 
 }  // namespace

@@ -38,12 +38,12 @@ from pathlib import Path
 # Fallback only: the baseline's own "timing_columns" manifest (written by
 # scripts/update_baselines.py, the single owner of the timing
 # classification) is authoritative when present.
-TIMING_MARKERS = ("second", "cpu", "ms", "time", "/sec", "speedup")
+TIMING_MARKERS = ("second", "cpu", "ms", "time", "/sec", "speedup", "rss", "resident")
 PARAM_COLUMNS = {
     "groups", "threads", "sessions", "straggler", "scenario", "method",
     "metric", "objective", "group size", "m", "n", "data size", "speed",
     "buffer", "alpha", "graph", "nodes", "scale", "rounds", "retired",
-    "shards", "kills", "faults",
+    "shards", "kills", "faults", "budget_kb",
 }
 
 

@@ -23,13 +23,16 @@ fi
 mkdir -p "${OUT_DIR}"
 BUILD_DIR="$(cd "${BUILD_DIR}" && pwd)"
 OUT_DIR="$(cd "${OUT_DIR}" && pwd)"
+# Every harness routes its CSV tables through bench_common.h's OutDir(),
+# which honors this variable — so the fig13–fig19 / ablation / scale CSVs
+# land next to the captured .txt tables instead of whatever cwd the
+# harness happened to run in.
+export MPN_BENCH_OUTDIR="${OUT_DIR}"
 
 for bench in "${BUILD_DIR}"/bench/fig* "${BUILD_DIR}"/bench/ablation_bench; do
   [[ -x "${bench}" ]] || continue
   name="$(basename "${bench}")"
   echo "== ${name} (MPN_BENCH_SCALE=${SCALE})"
-  # Run inside OUT_DIR so the harnesses' fig*.csv side outputs land there
-  # next to the captured tables, not in the caller's cwd.
   (cd "${OUT_DIR}" && MPN_BENCH_SCALE="${SCALE}" "${bench}") \
     | tee "${OUT_DIR}/${name}.txt"
 done

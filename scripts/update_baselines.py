@@ -30,7 +30,7 @@ import json
 import sys
 from pathlib import Path
 
-TIMING_MARKERS = ("second", "cpu", "ms", "time", "/sec", "speedup")
+TIMING_MARKERS = ("second", "cpu", "ms", "time", "/sec", "speedup", "rss", "resident")
 # Tables whose *name* carries the timing marker (e.g. fig13_GeoLife_cpu):
 # every measured column is wall/CPU time even though the column names are
 # method labels. scripts/check_baselines.py consumes the resulting

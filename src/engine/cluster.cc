@@ -15,6 +15,7 @@
 #include <utility>
 
 #include "engine/digest.h"
+#include "engine/session_codec.h"
 #include "util/macros.h"
 #include "util/timer.h"
 
@@ -54,61 +55,8 @@ uint64_t ReadAdmitRetireAt(const WireBuffer& frame) {
   return v;
 }
 
-/// Serializes every SimMetrics field the digest and the result accessors
-/// consume. The double (server_seconds) travels as its bit pattern, so the
-/// round-trip is byte-exact.
-void WriteMetrics(WireBuffer* out, const SimMetrics& m) {
-  out->PutU64(m.timestamps);
-  out->PutU64(m.updates);
-  out->PutU64(m.result_changes);
-  for (size_t t = 0; t < kMessageTypeCount; ++t) {
-    const MessageType type = static_cast<MessageType>(t);
-    out->PutU64(m.comm.messages(type));
-    out->PutU64(m.comm.packets(type));
-    out->PutU64(m.comm.values(type));
-  }
-  out->PutDouble(m.server_seconds);
-  out->PutU64(m.msr.tiles_tried);
-  out->PutU64(m.msr.tiles_added);
-  out->PutU64(m.msr.divide_calls);
-  out->PutU64(m.msr.verify.calls);
-  out->PutU64(m.msr.verify.accepted);
-  out->PutU64(m.msr.verify.tile_groups);
-  out->PutU64(m.msr.verify.focal_evals);
-  out->PutU64(m.msr.verify.memo_hits);
-  out->PutU64(m.msr.candidates.retrievals);
-  out->PutU64(m.msr.candidates.candidates_total);
-  out->PutU64(m.msr.candidates.rejected_by_buffer);
-  out->PutU64(m.msr.rtree_node_accesses);
-}
-
-SimMetrics ReadMetrics(WireReader* r) {
-  SimMetrics m;
-  m.timestamps = r->GetU64();
-  m.updates = r->GetU64();
-  m.result_changes = r->GetU64();
-  for (size_t t = 0; t < kMessageTypeCount; ++t) {
-    const MessageType type = static_cast<MessageType>(t);
-    const uint64_t messages = r->GetU64();
-    const uint64_t packets = r->GetU64();
-    const uint64_t values = r->GetU64();
-    m.comm.AddRaw(type, messages, packets, values);
-  }
-  m.server_seconds = r->GetDouble();
-  m.msr.tiles_tried = r->GetU64();
-  m.msr.tiles_added = r->GetU64();
-  m.msr.divide_calls = r->GetU64();
-  m.msr.verify.calls = r->GetU64();
-  m.msr.verify.accepted = r->GetU64();
-  m.msr.verify.tile_groups = r->GetU64();
-  m.msr.verify.focal_evals = r->GetU64();
-  m.msr.verify.memo_hits = r->GetU64();
-  m.msr.candidates.retrievals = r->GetU64();
-  m.msr.candidates.candidates_total = r->GetU64();
-  m.msr.candidates.rejected_by_buffer = r->GetU64();
-  m.msr.rtree_node_accesses = r->GetU64();
-  return m;
-}
+// SimMetrics serialization (WriteMetrics/ReadMetrics) moved to
+// engine/session_codec.h, shared with the session store's spill snapshots.
 
 /// Worker serving loop: one Engine over this shard's groups, fed by
 /// frames until the coordinator shuts it down or closes the pipe. Runs in
@@ -214,12 +162,18 @@ int WorkerMain(IpcChannel* ch, IpcChannel* hb,
           out.PutU32(static_cast<uint32_t>(sessions));
           for (uint32_t local = 0; local < sessions; ++local) {
             out.PutU32(global_ids[local]);
-            WriteMetrics(&out, engine.session_metrics(local));
-            out.PutU8(engine.session_has_result(local) ? 1 : 0);
-            out.PutU32(engine.session_po(local));
-            out.PutU64(engine.session_mailbox_peak(local));
-            out.PutU64(engine.session_stall_count(local));
-            out.PutU64(engine.session_dropped_count(local));
+            // Streamed (not the pinning by-reference accessors): under a
+            // memory budget a spilled session's result decodes into a
+            // stack-local, so the drain itself stays O(1) resident.
+            engine.WithSessionResult(
+                local, [&out](const SessionFinalResult& fr) {
+                  WriteMetrics(&out, fr.metrics);
+                  out.PutU8(fr.has_result ? 1 : 0);
+                  out.PutU32(fr.po);
+                  out.PutU64(fr.mailbox_peak);
+                  out.PutU64(fr.stall_count);
+                  out.PutU64(fr.dropped_count);
+                });
           }
           const std::vector<Scheduler::Slot> slots = engine.timeline_slots();
           out.PutU32(static_cast<uint32_t>(slots.size()));
@@ -231,6 +185,13 @@ int WorkerMain(IpcChannel* ch, IpcChannel* hb,
           const uint64_t retries = ch->counters().retries;
           out.PutU64(retries - reported_retries);
           reported_retries = retries;
+          // Session-store counters (cumulative for this incarnation; the
+          // coordinator folds incarnations like slot_base/last_slots).
+          const MemoryStats mem = engine.memory_stats();
+          out.PutU64(mem.spilled_sessions);
+          out.PutU64(mem.rehydrated_sessions);
+          out.PutU64(mem.spilled_bytes);
+          out.PutU64(mem.peak_resident_bytes);
           if (!ch->Send(out)) return 1;
           break;
         }
@@ -614,6 +575,14 @@ void ClusterEngine::RecoverShard(size_t shard) {
     // held results and their slot contribution moves into slot_base.
     w.restored_below = w.drained_through;
     w.slot_base = w.last_slots;
+    // Same fold for the session-store counters: sums accumulate across
+    // incarnations, the peak is the max any incarnation reached.
+    w.mem_base.spilled_sessions += w.last_mem.spilled_sessions;
+    w.mem_base.rehydrated_sessions += w.last_mem.rehydrated_sessions;
+    w.mem_base.spilled_bytes += w.last_mem.spilled_bytes;
+    w.mem_base.peak_resident_bytes = std::max(
+        w.mem_base.peak_resident_bytes, w.last_mem.peak_resident_bytes);
+    w.last_mem = MemoryStats();
     ForkWorker(shard);
     if (ReplayShardSnapshot(shard, /*count_stats=*/true)) break;
     // The replacement died mid-replay (e.g. a crash plan armed at t=0 on a
@@ -739,6 +708,13 @@ void ClusterEngine::ParseDrainReply(size_t shard,
   // The worker ships its transport-retry delta with every drain so the
   // coordinator's RecoveryStats see both ends of each channel.
   stats_.retries += r.GetU64();
+  // Session-store counters, cumulative for the current incarnation (a
+  // replacement restarts from zero; RecoverShard folds the dead
+  // incarnation's last report into mem_base).
+  w.last_mem.spilled_sessions = r.GetU64();
+  w.last_mem.rehydrated_sessions = r.GetU64();
+  w.last_mem.spilled_bytes = r.GetU64();
+  w.last_mem.peak_resident_bytes = r.GetU64();
   // Every session admitted so far is final now (Engine::Wait drains all).
   w.drained_through = shard_sessions;
 }
@@ -934,6 +910,21 @@ ClusterEngine::RecoveryStats ClusterEngine::recovery_stats() const {
     if (w.heartbeat.valid()) s.retries += w.heartbeat.counters().retries;
   }
   return s;
+}
+
+MemoryStats ClusterEngine::memory_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MemoryStats total;
+  for (const Worker& w : workers_) {
+    total.spilled_sessions +=
+        w.mem_base.spilled_sessions + w.last_mem.spilled_sessions;
+    total.rehydrated_sessions +=
+        w.mem_base.rehydrated_sessions + w.last_mem.rehydrated_sessions;
+    total.spilled_bytes += w.mem_base.spilled_bytes + w.last_mem.spilled_bytes;
+    total.peak_resident_bytes += std::max(w.mem_base.peak_resident_bytes,
+                                          w.last_mem.peak_resident_bytes);
+  }
+  return total;
 }
 
 bool ClusterEngine::shard_lost(size_t shard) const {

@@ -249,6 +249,15 @@ class ClusterEngine {
   /// Supervisor counters so far.
   RecoveryStats recovery_stats() const;
 
+  /// Session-store (memory budget) counters summed across shards, as
+  /// reported by each worker's last drain: spill/rehydrate counts and
+  /// spilled bytes are sums over every incarnation; peak_resident_bytes
+  /// sums each shard's per-incarnation maximum (shards run concurrently).
+  /// resident_bytes is not meaningful coordinator-side and stays zero.
+  /// The budget itself flows to workers via ClusterOptions::engine (or
+  /// the MPN_MEMORY_BUDGET environment variable they inherit).
+  MemoryStats memory_stats() const;
+
   /// True once `shard` exhausted its restart budget and degraded to lost.
   bool shard_lost(size_t shard) const;
 
@@ -323,6 +332,11 @@ class ClusterEngine {
     /// slot_base + the last successful drain's reported slots — this
     /// shard's effective contribution to the cluster round stats.
     std::vector<SlotTotals> last_slots;
+    /// Session-store counters owned by dead incarnations (sums folded,
+    /// peak maxed — see RecoverShard); the replacement restarts at zero.
+    MemoryStats mem_base;
+    /// Counters reported by the current incarnation's last drain.
+    MemoryStats last_mem;
   };
 
   /// One session's deterministic result fields plus observability marks,

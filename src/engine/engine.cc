@@ -1,9 +1,11 @@
 #include "engine/engine.h"
 
+#include <cstdlib>
 #include <stdexcept>
 #include <utility>
 
 #include "engine/digest.h"
+#include "engine/session_store.h"
 #include "util/macros.h"
 
 namespace mpn {
@@ -50,6 +52,34 @@ Engine::Engine(const std::vector<Point>* pois, SpatialIndex tree,
   executor_ = std::make_unique<PoolExecutor>(pool_.get());
   scheduler_ = std::make_shared<Scheduler>(pool_.get(), table_.get());
   scheduler_->set_crash_at_timestamp(options_.crash_at_timestamp);
+  // An explicit cap wins; otherwise the MPN_MEMORY_BUDGET environment
+  // variable arms spilling (so existing binaries/tests can cross the
+  // out-of-core path unmodified).
+  if (options_.budget.bytes_cap == 0) {
+    options_.budget.bytes_cap =
+        ParseMemoryBudgetBytes(std::getenv("MPN_MEMORY_BUDGET"));
+  }
+  session_sim_options_ = options_.sim;
+  if (options_.parallel_verify) {
+    session_sim_options_.server.verify_fanout.executor = executor_.get();
+    session_sim_options_.server.verify_fanout.grain = options_.verify_grain;
+    session_sim_options_.server.verify_fanout.min_candidates =
+        options_.verify_min_candidates;
+  }
+  store_ = std::make_unique<SessionStore>(
+      options_.budget,
+      [this](uint32_t id, const std::vector<const Trajectory*>& group,
+             const SessionTuning& tuning) {
+        return std::make_unique<GroupSession>(id, pois_, tree_, group,
+                                              session_sim_options_, tuning,
+                                              &run_timer_);
+      });
+  scheduler_->set_store(store_.get());
+  // Under a budget, run each session to completion before the next one
+  // rehydrates — digest-neutral (sessions are independent), but it turns
+  // the spill pattern from one round trip per (session, timestamp) into
+  // roughly one per session.
+  scheduler_->set_locality_priority(store_->enabled());
 }
 
 Engine::~Engine() {
@@ -73,19 +103,17 @@ uint32_t Engine::AdmitSession(std::vector<const Trajectory*> group,
         "Engine::AdmitSession on a finished engine (Run/Shutdown already "
         "returned)");
   }
-  SimOptions session_options = options_.sim;
-  if (options_.parallel_verify) {
-    session_options.server.verify_fanout.executor = executor_.get();
-    session_options.server.verify_fanout.grain = options_.verify_grain;
-    session_options.server.verify_fanout.min_candidates =
-        options_.verify_min_candidates;
-  }
   const uint32_t id = table_->ReserveId();
-  auto record = std::make_unique<SessionRecord>(std::make_unique<GroupSession>(
-      id, pois_, tree_, std::move(group), session_options, tuning,
-      &run_timer_));
+  auto session = std::make_unique<GroupSession>(
+      id, pois_, tree_, group, session_sim_options_, tuning, &run_timer_);
+  auto record = std::make_unique<SessionRecord>(id, std::move(group), tuning,
+                                                std::move(session));
   SessionRecord* r = table_->Insert(std::move(record));
   scheduler_->Admit(r);
+  // Charge the new session (a zero-horizon one already finalized and
+  // compacted inside Admit) and evict whatever no longer fits.
+  store_->OnAdmit(r);
+  store_->Rebalance();
   return id;
 }
 
@@ -99,7 +127,16 @@ uint32_t Engine::AddSession(std::vector<const Trajectory*> group) {
 }
 
 void Engine::RetireSession(uint32_t id, size_t at_timestamp) {
-  FindChecked(id)->session->RequestRetire(at_timestamp);
+  SessionRecord* r = FindChecked(id);
+  std::lock_guard<std::mutex> lock(r->mu);
+  if (r->session != nullptr) {
+    r->session->RequestRetire(at_timestamp);
+    return;
+  }
+  if (r->finalized) return;  // already done — retirement is a no-op
+  // Spilled live session: remember the earliest request; the store
+  // applies it on rehydration, before the next event runs.
+  if (at_timestamp < r->pending_retire_at) r->pending_retire_at = at_timestamp;
 }
 
 void Engine::Start() {
@@ -136,38 +173,121 @@ void Engine::RebuildRoundStats() {
     stats.round_seconds.Add(slot.seconds);
     ++stats.rounds;
   }
-  table_->ForEachOrdered([&stats](SessionRecord* r) {
+  table_->ForEachOrdered([&stats, this](SessionRecord* r) {
     // Sessions admitted concurrently with this Wait (no hold held) may
-    // still be running; fold only finalized ones — their mailbox fields
+    // still be running; fold only finalized ones — their result fields
     // are no longer written, so the read is race-free.
     {
       std::lock_guard<std::mutex> lock(r->mu);
       if (!r->finalized) return;
     }
-    stats.mailbox_peak_per_session.Add(
-        static_cast<double>(r->session->mailbox_peak()));
-    stats.mailbox_stalls_per_session.Add(
-        static_cast<double>(r->session->stall_count()));
+    store_->WithResult(r, [&stats](const SessionFinalResult& fr) {
+      stats.mailbox_peak_per_session.Add(static_cast<double>(fr.mailbox_peak));
+      stats.mailbox_stalls_per_session.Add(
+          static_cast<double>(fr.stall_count));
+    });
   });
   round_stats_ = stats;
 }
 
 SimMetrics Engine::TotalMetrics() const {
   SimMetrics total;
-  table_->ForEachOrdered([&total](SessionRecord* r) {
-    total.Merge(r->session->metrics());
+  table_->ForEachOrdered([&total, this](SessionRecord* r) {
+    store_->WithResult(r, [&total](const SessionFinalResult& fr) {
+      total.Merge(fr.metrics);
+    });
   });
   return total;
 }
 
 uint64_t Engine::ResultDigest() const {
   Fnv1a fnv;
-  table_->ForEachOrdered([&fnv](SessionRecord* r) {
-    const GroupSession& s = *r->session;
-    AddSessionResultToDigest(&fnv, s.metrics(), s.has_result(),
-                             s.current_po());
+  table_->ForEachOrdered([&fnv, this](SessionRecord* r) {
+    store_->WithResult(r, [&fnv](const SessionFinalResult& fr) {
+      AddSessionResultToDigest(&fnv, fr.metrics, fr.has_result, fr.po);
+    });
   });
   return fnv.hash;
 }
+
+// --- legacy per-session accessors -----------------------------------------
+//
+// The by-value accessors stream through the store (no pinning); the
+// by-reference ones must hand out pointers into the record's state, so
+// they rehydrate-and-pin: the session stays resident for the rest of the
+// run. Budget-friendly iteration goes through WithSessionResult instead.
+
+const SimMetrics& Engine::session_metrics(uint32_t id) const {
+  SessionRecord* r = FindChecked(id);
+  const SimMetrics* out = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(r->mu);
+    store_->EnsureResidentLocked(r, /*pin=*/true);
+    out = r->final_result != nullptr ? &r->final_result->metrics
+                                     : &r->session->metrics();
+  }
+  store_->Rebalance();  // pinning may have pushed residency over the cap
+  return *out;
+}
+
+const std::vector<double>& Engine::session_advance_seconds(uint32_t id) const {
+  SessionRecord* r = FindChecked(id);
+  const std::vector<double>* out = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(r->mu);
+    store_->EnsureResidentLocked(r, /*pin=*/true);
+    out = r->final_result != nullptr ? &r->final_result->advance_seconds
+                                     : &r->session->advance_seconds();
+  }
+  store_->Rebalance();
+  return *out;
+}
+
+uint32_t Engine::session_po(uint32_t id) const {
+  uint32_t po = 0;
+  store_->WithResult(FindChecked(id),
+                     [&po](const SessionFinalResult& fr) { po = fr.po; });
+  return po;
+}
+
+bool Engine::session_has_result(uint32_t id) const {
+  bool has = false;
+  store_->WithResult(
+      FindChecked(id),
+      [&has](const SessionFinalResult& fr) { has = fr.has_result; });
+  return has;
+}
+
+size_t Engine::session_mailbox_peak(uint32_t id) const {
+  size_t peak = 0;
+  store_->WithResult(
+      FindChecked(id),
+      [&peak](const SessionFinalResult& fr) { peak = fr.mailbox_peak; });
+  return peak;
+}
+
+size_t Engine::session_stall_count(uint32_t id) const {
+  size_t stalls = 0;
+  store_->WithResult(
+      FindChecked(id),
+      [&stalls](const SessionFinalResult& fr) { stalls = fr.stall_count; });
+  return stalls;
+}
+
+size_t Engine::session_dropped_count(uint32_t id) const {
+  size_t dropped = 0;
+  store_->WithResult(
+      FindChecked(id),
+      [&dropped](const SessionFinalResult& fr) { dropped = fr.dropped_count; });
+  return dropped;
+}
+
+void Engine::WithSessionResult(
+    uint32_t id,
+    const std::function<void(const SessionFinalResult&)>& fn) const {
+  store_->WithResult(FindChecked(id), fn);
+}
+
+MemoryStats Engine::memory_stats() const { return store_->stats(); }
 
 }  // namespace mpn

@@ -28,10 +28,12 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
 #include "engine/group_session.h"
+#include "engine/memory_budget.h"
 #include "engine/scheduler.h"
 #include "engine/session_table.h"
 #include "util/stats.h"
@@ -64,6 +66,12 @@ struct EngineOptions {
   /// when a KillWorkerAt / MPN_CRASH_PLAN event is armed for a worker
   /// incarnation (engine/cluster.h); never use it in-process.
   size_t crash_at_timestamp = static_cast<size_t>(-1);
+  /// Resident-session byte budget (engine/memory_budget.h). bytes_cap == 0
+  /// defers to the MPN_MEMORY_BUDGET environment variable ("64m", "1g",
+  /// ...; unset/empty keeps spilling off). Any cap produces bit-identical
+  /// digests to an unbudgeted run — only memory_stats() and wall time
+  /// change.
+  MemoryBudget budget;
 };
 
 /// Per-timestamp aggregates of one Engine run, built on util/stats. A
@@ -180,42 +188,45 @@ class Engine {
   /// hold) to avoid racing the drain.
   Hold AcquireHold() { return Hold(scheduler_); }
 
-  /// Per-session metrics (valid after Wait).
-  const SimMetrics& session_metrics(uint32_t id) const {
-    return FindChecked(id)->session->metrics();
-  }
+  /// Per-session metrics (valid after Wait). By-reference: pins the
+  /// session resident for the rest of the run (see WithSessionResult for
+  /// the streaming alternative the budget-friendly paths use).
+  const SimMetrics& session_metrics(uint32_t id) const;
 
   /// POI id of session `id`'s final meeting point.
-  uint32_t session_po(uint32_t id) const {
-    return FindChecked(id)->session->current_po();
-  }
+  uint32_t session_po(uint32_t id) const;
 
   /// True once session `id` received its first meeting point (false for
   /// sessions retired before their first update).
-  bool session_has_result(uint32_t id) const {
-    return FindChecked(id)->session->has_result();
-  }
+  bool session_has_result(uint32_t id) const;
 
   /// Mailbox high-water mark / stall count of session `id` (see
   /// GroupSession::mailbox_peak / stall_count).
-  size_t session_mailbox_peak(uint32_t id) const {
-    return FindChecked(id)->session->mailbox_peak();
-  }
-  size_t session_stall_count(uint32_t id) const {
-    return FindChecked(id)->session->stall_count();
-  }
+  size_t session_mailbox_peak(uint32_t id) const;
+  size_t session_stall_count(uint32_t id) const;
 
   /// Buffered updates session `id` dropped (and later force-recomputed)
   /// under MailboxPolicy::kDropOldest (see GroupSession::dropped_count).
-  size_t session_dropped_count(uint32_t id) const {
-    return FindChecked(id)->session->dropped_count();
-  }
+  size_t session_dropped_count(uint32_t id) const;
 
   /// Wall-clock completion stamps of session `id`'s advances (seconds
   /// since Start); consecutive gaps are the per-session round latencies.
-  const std::vector<double>& session_advance_seconds(uint32_t id) const {
-    return FindChecked(id)->session->advance_seconds();
-  }
+  /// By-reference: pins the session resident (see session_metrics).
+  const std::vector<double>& session_advance_seconds(uint32_t id) const;
+
+  /// Streams session `id`'s result fields to `fn` without pinning — for a
+  /// spilled session the snapshot is decoded into a stack-local that dies
+  /// with the call, so iterating every session stays O(1) resident. The
+  /// reference is valid only inside `fn`.
+  void WithSessionResult(
+      uint32_t id,
+      const std::function<void(const SessionFinalResult&)>& fn) const;
+
+  /// Spill/rehydrate counters and resident accounting of the session
+  /// store (zeros when no budget is configured). Counters are
+  /// deterministic at threads == 1 under a fixed budget; with more
+  /// threads the victim timing is wall-clock dependent.
+  MemoryStats memory_stats() const;
 
   /// Merged metrics across all sessions (valid after Wait).
   SimMetrics TotalMetrics() const;
@@ -253,6 +264,10 @@ class Engine {
   const std::vector<Point>* pois_;
   SpatialIndex tree_;
   EngineOptions options_;
+  /// Per-session SimOptions with the parallel-verify executor wired in —
+  /// computed once so mid-run rehydration rebuilds sessions with exactly
+  /// the admission-time options.
+  SimOptions session_sim_options_;
   Timer run_timer_;
   EngineRoundStats round_stats_;
   // Atomic: AdmitSession/RetireSession read these from arbitrary threads
@@ -264,6 +279,9 @@ class Engine {
   // reference go away. ~Engine additionally drains outstanding work so no
   // task re-posts into a stopping pool.
   std::unique_ptr<SessionTable> table_;
+  // Destroyed after the scheduler (which holds a raw pointer into it) and
+  // before the table whose records it compacts/spills.
+  std::unique_ptr<SessionStore> store_;
   // shared_ptr so outstanding Holds keep the Scheduler object (whose
   // Release() only touches its own mutex/cv) alive past ~Engine.
   std::shared_ptr<Scheduler> scheduler_;

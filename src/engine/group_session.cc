@@ -258,6 +258,73 @@ void GroupSession::RematerializeSnapshot(Snapshot* entry) const {
   }
 }
 
+GroupSession::State GroupSession::ExportState() const {
+  // Spill boundary: between events, mailbox drained, no recompute in
+  // flight (the scheduler's flags guarantee the latter). Under those
+  // conditions flight_saturated_ is provably false and materialized_ 0,
+  // so neither needs to travel.
+  MPN_ASSERT(mailbox_.empty());
+  State state;
+  state.next_t = next_t_;
+  state.retire_at = retire_at_;
+  state.has_result = has_result_;
+  state.current_po = current_po_;
+  state.mailbox_peak = mailbox_peak_;
+  state.stall_count = stall_count_;
+  state.dropped_count = dropped_count_;
+  state.metrics = metrics_;
+  state.server = server_.ExportState();
+  state.clients.reserve(clients_.size());
+  for (const MpnClient& c : clients_) state.clients.push_back(c.ExportState());
+  // Entries at t >= next_t_ are still at their ctor-assigned zero, so only
+  // the processed prefix travels; ImportState re-zero-fills the tail.
+  state.messages_at.assign(messages_at_.begin(), messages_at_.begin() + next_t_);
+  state.violated_at.assign(violated_at_.begin(), violated_at_.begin() + next_t_);
+  state.advance_at.assign(advance_at_.begin(), advance_at_.begin() + next_t_);
+  state.seconds_at.assign(seconds_at_.begin(), seconds_at_.begin() + next_t_);
+  return state;
+}
+
+void GroupSession::ImportState(const State& state) {
+  MPN_ASSERT(mailbox_.empty());
+  MPN_ASSERT(state.clients.size() == clients_.size());
+  MPN_ASSERT(state.next_t <= horizon_);
+  next_t_ = state.next_t;
+  retire_at_ = state.retire_at;
+  has_result_ = state.has_result;
+  current_po_ = state.current_po;
+  mailbox_peak_ = state.mailbox_peak;
+  stall_count_ = state.stall_count;
+  dropped_count_ = state.dropped_count;
+  metrics_ = state.metrics;
+  server_.ImportState(state.server);
+  for (size_t i = 0; i < clients_.size(); ++i) {
+    clients_[i].ImportState(state.clients[i]);
+  }
+  materialized_ = 0;
+  flight_saturated_ = false;
+  messages_at_.assign(horizon_, 0);
+  violated_at_.assign(horizon_, 0);
+  advance_at_.assign(horizon_, 0.0);
+  seconds_at_.assign(horizon_, 0.0);
+  std::copy(state.messages_at.begin(), state.messages_at.end(),
+            messages_at_.begin());
+  std::copy(state.violated_at.begin(), state.violated_at.end(),
+            violated_at_.begin());
+  std::copy(state.advance_at.begin(), state.advance_at.end(),
+            advance_at_.begin());
+  std::copy(state.seconds_at.begin(), state.seconds_at.end(),
+            seconds_at_.begin());
+}
+
+size_t GroupSession::StateBytesEstimate() const {
+  // Fixed part covers the session object, server counters and metrics; the
+  // variable part is the per-timestamp traces plus each client's region.
+  size_t bytes = 256 + horizon_ * 32;
+  for (const MpnClient& c : clients_) bytes += c.StateBytesEstimate();
+  return bytes;
+}
+
 void GroupSession::CheckInvariantAt(
     const std::vector<Point>& locations) const {
   // Safe-region invariant: while everyone is inside, the last reported

@@ -87,6 +87,21 @@ struct SessionTuning {
   MailboxPolicy mailbox_policy = MailboxPolicy::kBlock;
 };
 
+/// The per-session fields the engine still serves after a finalized
+/// session's state machine has been destroyed (engine/session_store.h
+/// compacts every finalized session down to this, budget or not).
+struct SessionFinalResult {
+  SimMetrics metrics;
+  bool has_result = false;
+  uint32_t po = 0;
+  size_t mailbox_peak = 0;
+  size_t stall_count = 0;
+  size_t dropped_count = 0;
+  /// Full advance-completion trace (horizon-sized, like advance_seconds()),
+  /// kept so round-latency percentiles survive compaction.
+  std::vector<double> advance_seconds;
+};
+
 /// Single-group protocol state machine, driven by the engine's scheduler.
 class GroupSession {
  public:
@@ -216,6 +231,58 @@ class GroupSession {
   /// capacity >= 1, deterministic at capacity 0. Observability only,
   /// excluded from digests.
   size_t dropped_count() const { return dropped_count_; }
+
+  /// Distills the finalized session into the fields the engine keeps
+  /// serving after compaction. Requires Finish() to have run.
+  SessionFinalResult ExtractFinalResult() const {
+    SessionFinalResult fr;
+    fr.metrics = metrics_;
+    fr.has_result = has_result_;
+    fr.po = current_po_;
+    fr.mailbox_peak = mailbox_peak_;
+    fr.stall_count = stall_count_;
+    fr.dropped_count = dropped_count_;
+    fr.advance_seconds = advance_at_;
+    return fr;
+  }
+
+  // --- out-of-core snapshotting (engine/session_store.h) -------------------
+
+  /// Plain-data snapshot of a live session's evolving state. Everything the
+  /// constructor arguments do not already determine; the per-timestamp
+  /// traces carry only the first next_t entries (later entries are provably
+  /// still at their initial zero). Wire encoding lives in
+  /// engine/session_codec.h so this layer stays IPC-free.
+  struct State {
+    size_t next_t = 0;
+    size_t retire_at = std::numeric_limits<size_t>::max();
+    bool has_result = false;
+    uint32_t current_po = 0;
+    size_t mailbox_peak = 0;
+    size_t stall_count = 0;
+    size_t dropped_count = 0;
+    SimMetrics metrics;
+    MpnServer::State server;
+    std::vector<MpnClient::State> clients;
+    std::vector<uint32_t> messages_at;
+    std::vector<uint8_t> violated_at;
+    std::vector<double> advance_at;
+    std::vector<double> seconds_at;
+  };
+
+  /// Captures the session's full evolving state. Only valid between events
+  /// with an empty mailbox and no recomputation in flight (asserted) — at
+  /// that boundary Import(Export()) is a bit-exact identity, which is what
+  /// makes spilling digest-neutral.
+  State ExportState() const;
+
+  /// Restores a captured state into a freshly constructed session (same id,
+  /// same trajectories, same options/tuning).
+  void ImportState(const State& state);
+
+  /// Deterministic resident-byte estimate: a pure function of the logical
+  /// state, identical across runs/machines for the engine's accounting.
+  size_t StateBytesEstimate() const;
 
   // --- per-timestamp traces (engine round stats + latency percentiles) ---
 

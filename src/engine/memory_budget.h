@@ -1,0 +1,64 @@
+// Memory budget for the engine's out-of-core session store.
+//
+// A budget caps the bytes of *evictable* per-session state the engine keeps
+// resident: live GroupSession state machines and compacted final results.
+// When the deterministic byte estimate crosses the cap, the session store
+// (engine/session_store.h) serializes cold sessions through the versioned
+// snapshot codec (engine/session_codec.h) and spills them to a bounded
+// external list, rehydrating transparently when the scheduler re-arms them.
+// Fixed per-record overhead (SessionRecord, trajectory pointers) is not
+// charged — the cap governs what spilling can actually evict.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace mpn {
+
+/// Byte cap for resident per-session state. 0 disables spilling entirely
+/// (finalized-session compaction stays on — it only frees memory).
+struct MemoryBudget {
+  size_t bytes_cap = 0;
+  /// Directory for the spill file (empty = $TMPDIR, falling back to /tmp).
+  /// The file is created with mkstemp and unlinked immediately, so nothing
+  /// survives the process.
+  std::string spill_dir;
+};
+
+/// Spill/rehydrate accounting. The byte figures are the store's
+/// deterministic estimates, so at threads=1 every field is a pure function
+/// of the admitted workload and the cap (and exact-matchable in baselines).
+struct MemoryStats {
+  uint64_t spilled_sessions = 0;     ///< spill events (cumulative)
+  uint64_t rehydrated_sessions = 0;  ///< rehydrate events (cumulative)
+  uint64_t spilled_bytes = 0;        ///< encoded bytes written (cumulative)
+  uint64_t resident_bytes = 0;       ///< current resident estimate
+  uint64_t peak_resident_bytes = 0;  ///< high-water resident estimate
+};
+
+/// Parses a byte-count spec with an optional k/m/g suffix ("64k", "256M",
+/// "1g", "12345"). Returns 0 for null/empty/garbage — i.e. "no budget".
+/// Used for the MPN_MEMORY_BUDGET environment override.
+inline size_t ParseMemoryBudgetBytes(const char* spec) {
+  if (spec == nullptr || *spec == '\0') return 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(spec, &end, 10);
+  if (end == spec) return 0;
+  size_t mult = 1;
+  if (*end == 'k' || *end == 'K') {
+    mult = 1024;
+    ++end;
+  } else if (*end == 'm' || *end == 'M') {
+    mult = 1024ull * 1024;
+    ++end;
+  } else if (*end == 'g' || *end == 'G') {
+    mult = 1024ull * 1024 * 1024;
+    ++end;
+  }
+  if (*end != '\0') return 0;  // trailing junk ("64kb") is garbage, not 64k
+  return static_cast<size_t>(v) * mult;
+}
+
+}  // namespace mpn

@@ -4,6 +4,7 @@
 #include <memory>
 #include <utility>
 
+#include "engine/session_store.h"
 #include "util/macros.h"
 
 namespace mpn {
@@ -71,11 +72,18 @@ void Scheduler::ScheduleEventLocked(SessionRecord* r, uint64_t priority) {
 void Scheduler::ScheduleNextLocked(SessionRecord* r) {
   if (!started()) return;
   if (r->finalized || r->event_queued || r->event_running) return;
+  if (r->spilled) {
+    // A spilled session is idle by construction (no job in flight, no
+    // pending result, not done — spill eligibility): arm its next tick
+    // from the cached clock without rehydrating; RunEvent rehydrates.
+    ScheduleEventLocked(r, EventPriority(r->cached_next_t, r->id));
+    return;
+  }
   GroupSession* s = r->session.get();
   if (r->result_ready) {
     // Install + replay, at the violating timestamp's priority: a lagging
     // session's catch-up beats other sessions' future ticks.
-    ScheduleEventLocked(r, EventPriority(r->outcome.t, s->id()));
+    ScheduleEventLocked(r, EventPriority(r->outcome.t, r->id));
     return;
   }
   if (r->job_running) {
@@ -83,12 +91,12 @@ void Scheduler::ScheduleNextLocked(SessionRecord* r) {
     // mailbox while it has room; otherwise the job's completion callback
     // re-arms the session.
     if (s->CanBuffer()) {
-      ScheduleEventLocked(r, EventPriority(s->next_timestamp(), s->id()));
+      ScheduleEventLocked(r, EventPriority(s->next_timestamp(), r->id));
     }
     return;
   }
   if (!s->done()) {
-    ScheduleEventLocked(r, EventPriority(s->next_timestamp(), s->id()));
+    ScheduleEventLocked(r, EventPriority(s->next_timestamp(), r->id));
     return;
   }
   FinalizeLocked(r);
@@ -100,31 +108,29 @@ void Scheduler::FinalizeLocked(SessionRecord* r) {
   s->Finish();
   r->finalized = true;
   const size_t n = s->next_timestamp();  // timestamps actually advanced
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  if (slots_.size() < n) slots_.resize(n);
-  for (size_t t = 0; t < n; ++t) {
-    slots_[t].messages += s->messages_at()[t];
-    slots_[t].recomputes += s->violated_at()[t];
-    slots_[t].seconds += s->work_seconds_at()[t];
-    ++slots_[t].sessions;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    if (slots_.size() < n) slots_.resize(n);
+    for (size_t t = 0; t < n; ++t) {
+      slots_[t].messages += s->messages_at()[t];
+      slots_[t].recomputes += s->violated_at()[t];
+      slots_[t].seconds += s->work_seconds_at()[t];
+      ++slots_[t].sessions;
+    }
   }
+  // Compact: the state machine collapses to its SessionFinalResult.
+  if (store_ != nullptr) store_->CompactFinalizedLocked(r);
 }
 
 void Scheduler::RunEvent(SessionRecord* r) {
   events_processed_.fetch_add(1, std::memory_order_relaxed);
-  GroupSession* s = r->session.get();
-  // Crash injection (see set_crash_at_timestamp): die without unwinding —
-  // the kernel closes the IPC pipe, which is exactly the failure signal a
-  // real worker crash produces. next_timestamp() only grows and is capped
-  // by the (finite) horizon, so the SIZE_MAX default can never trigger.
-  if (s->next_timestamp() >= crash_at_timestamp_ && !s->AdvancesExhausted()) {
-    std::_Exit(134);
-  }
   bool do_install = false;
   bool awaiting = false;
   GroupSession::RecomputeOutcome outcome;
   {
     std::lock_guard<std::mutex> lock(r->mu);
+    // The event may belong to a spilled session — bring it back first.
+    if (store_ != nullptr) store_->EnsureResidentLocked(r);
     r->event_queued = false;
     r->event_running = true;
     if (r->result_ready) {
@@ -134,6 +140,14 @@ void Scheduler::RunEvent(SessionRecord* r) {
     } else {
       awaiting = r->job_running;
     }
+  }
+  GroupSession* s = r->session.get();
+  // Crash injection (see set_crash_at_timestamp): die without unwinding —
+  // the kernel closes the IPC pipe, which is exactly the failure signal a
+  // real worker crash produces. next_timestamp() only grows and is capped
+  // by the (finite) horizon, so the SIZE_MAX default can never trigger.
+  if (s->next_timestamp() >= crash_at_timestamp_ && !s->AdvancesExhausted()) {
+    std::_Exit(134);
   }
 
   bool post_job = false;
@@ -164,12 +178,15 @@ void Scheduler::RunEvent(SessionRecord* r) {
     ScheduleNextLocked(r);
   }
   if (post_job) PostJob(r, std::move(snap));
+  // Re-account the (grown) session and spill whatever the budget no
+  // longer covers. After the flags settle, outside every lock.
+  if (store_ != nullptr) store_->OnEventDone(r);
   SubOutstanding();
 }
 
 void Scheduler::PostJob(SessionRecord* r, GroupSession::Snapshot snap) {
   AddOutstanding();
-  const uint64_t priority = EventPriority(snap.t, r->session->id());
+  const uint64_t priority = EventPriority(snap.t, r->id);
   // shared_ptr because std::function requires copyable callables.
   auto shared = std::make_shared<GroupSession::Snapshot>(std::move(snap));
   pool_->Post(

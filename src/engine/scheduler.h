@@ -38,6 +38,8 @@
 
 namespace mpn {
 
+class SessionStore;
+
 /// Drives session events and async recomputations over a thread pool.
 class Scheduler {
  public:
@@ -57,6 +59,20 @@ class Scheduler {
   /// crash_at_timestamp / MPN_CRASH_PLAN. Must be set before Start (no
   /// synchronization). SIZE_MAX (the default) disables the hook.
   void set_crash_at_timestamp(size_t t) { crash_at_timestamp_ = t; }
+
+  /// Wires the engine's session store: RunEvent rehydrates spilled
+  /// sessions through it and re-accounts/rebalances after every event,
+  /// and finalization compacts through it. Must be set before Start.
+  void set_store(SessionStore* store) { store_ = store; }
+
+  /// Switches the ready ordering from time-major (t, id) to id-major
+  /// (id, t): each session runs its whole timeline before the next
+  /// session's first event fires. Per-session results are interleaving-
+  /// independent (see the determinism note above), so this is digest-
+  /// neutral — but under a memory budget it turns the spill pattern from
+  /// one rehydration per (session, timestamp) into roughly one per
+  /// session. Must be set before Start.
+  void set_locality_priority(bool on) { locality_priority_ = on; }
 
   /// True after Start().
   bool started() const { return started_.load(std::memory_order_acquire); }
@@ -98,9 +114,17 @@ class Scheduler {
   std::vector<Slot> SnapshotSlots() const;
 
  private:
-  /// Priority of a session event: virtual time first, session id as the
-  /// tie-break — the (next_timestamp, session_id) ready ordering.
-  static uint64_t EventPriority(size_t t, uint32_t id) {
+  /// Priority of a session event. Default: virtual time first, session id
+  /// as the tie-break — the (next_timestamp, session_id) ready ordering.
+  /// Under locality mode the fields swap (id-major, timestamp clamped to
+  /// 32 bits; ids are dense from 0, so realistic keys stay well below the
+  /// pool's kDefaultPriority).
+  uint64_t EventPriority(size_t t, uint32_t id) const {
+    if (locality_priority_) {
+      const uint64_t clamped =
+          t < 0xffffffffu ? static_cast<uint64_t>(t) : 0xffffffffu;
+      return (static_cast<uint64_t>(id) << 32) | clamped;
+    }
     return (static_cast<uint64_t>(t) << 32) | id;
   }
 
@@ -117,6 +141,8 @@ class Scheduler {
 
   ThreadPool* pool_;
   SessionTable* table_;
+  SessionStore* store_ = nullptr;    ///< set by the engine before Start
+  bool locality_priority_ = false;   ///< id-major ready ordering
   std::atomic<bool> started_{false};
   std::atomic<uint64_t> events_processed_{0};
   size_t crash_at_timestamp_ = static_cast<size_t>(-1);

@@ -19,6 +19,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -28,11 +29,25 @@
 namespace mpn {
 
 /// One session plus its scheduling state.
+///
+/// With the session store (engine/session_store.h) the record outlives its
+/// GroupSession: `session` is null once the session finalized and was
+/// compacted to `final_result`, or while a live session's state is spilled
+/// (`spilled`; the serialized snapshot lives in the store's external list
+/// and `cached_next_t` keeps the scheduler able to re-arm it). The id,
+/// trajectory group and tuning stay on the record so the store can rebuild
+/// the state machine on rehydration.
 struct SessionRecord {
-  explicit SessionRecord(std::unique_ptr<GroupSession> s)
-      : session(std::move(s)) {}
+  SessionRecord(uint32_t session_id, std::vector<const Trajectory*> g,
+                const SessionTuning& t, std::unique_ptr<GroupSession> s)
+      : session(std::move(s)), id(session_id), group(std::move(g)),
+        tuning(t) {}
 
   std::unique_ptr<GroupSession> session;
+
+  const uint32_t id;                        ///< dense global session id
+  const std::vector<const Trajectory*> group;  ///< for rehydration
+  const SessionTuning tuning;               ///< admission-time tuning
 
   /// Guards the flags below (never held while a session phase runs).
   std::mutex mu;
@@ -42,6 +57,26 @@ struct SessionRecord {
   bool result_ready = false;   ///< `outcome` holds a finished recomputation
   bool finalized = false;      ///< Finish() ran; stats folded
   GroupSession::RecomputeOutcome outcome;  ///< valid while result_ready
+
+  // --- session-store state (guarded by mu like the flags) ---------------
+  /// Distilled result of a finalized session (session itself destroyed).
+  std::unique_ptr<SessionFinalResult> final_result;
+  bool spilled = false;         ///< state lives in the store's spill file
+  /// A legacy by-reference accessor handed out pointers into this record's
+  /// state: it must stay resident for the rest of the run.
+  bool accessor_pinned = false;
+  /// next_timestamp() at spill time — lets the scheduler arm a spilled
+  /// session's next event without rehydrating it first.
+  size_t cached_next_t = 0;
+  /// Retirement requested while spilled; applied on rehydration.
+  size_t pending_retire_at = std::numeric_limits<size_t>::max();
+  size_t spill_offset = 0;      ///< extent in the store's spill file
+  size_t spill_length = 0;      ///< encoded snapshot bytes
+  size_t spill_capacity = 0;    ///< size-class capacity of the extent
+  size_t accounted_bytes = 0;   ///< resident estimate charged to the budget
+  /// Key in the store's spill-candidate map (guarded by the *store* mutex,
+  /// not `mu` — it is bookkeeping for the store's victim index).
+  uint64_t store_key = ~uint64_t{0};
 };
 
 /// Fixed-shard concurrent map id -> SessionRecord.

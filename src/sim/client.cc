@@ -28,6 +28,36 @@ void MpnClient::Advance(size_t t) {
   location_ = next;
 }
 
+MpnClient::State MpnClient::ExportState() const {
+  State state;
+  state.location = location_;
+  state.moved = moved_;
+  state.heading = heading_;
+  state.recent_headings.assign(recent_headings_.begin(),
+                               recent_headings_.end());
+  state.has_region = has_region_;
+  state.region = region_;
+  return state;
+}
+
+void MpnClient::ImportState(const State& state) {
+  location_ = state.location;
+  moved_ = state.moved;
+  heading_ = state.heading;
+  recent_headings_.assign(state.recent_headings.begin(),
+                          state.recent_headings.end());
+  has_region_ = state.has_region;
+  region_ = state.region;
+}
+
+size_t MpnClient::StateBytesEstimate() const {
+  size_t bytes = 128 + recent_headings_.size() * sizeof(double);
+  if (has_region_ && !region_.is_circle()) {
+    bytes += region_.tiles().size() * 80;
+  }
+  return bytes;
+}
+
 MotionHint MpnClient::Hint() const {
   MotionHint hint;
   if (!moved_) return hint;

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <deque>
+#include <vector>
 
 #include "mpn/safe_region.h"
 #include "mpn/tile_msr.h"
@@ -59,6 +60,31 @@ class MpnClient {
   /// [theta_min, theta_max]. has_heading is false until the client has
   /// moved.
   MotionHint Hint() const;
+
+  /// Plain-data snapshot of the client's evolving state (everything except
+  /// the trajectory pointer and options, which the owner re-supplies on
+  /// rehydration). Wire encoding lives in engine/session_codec.h so the sim
+  /// layer stays free of IPC dependencies.
+  struct State {
+    Point location{0, 0};
+    bool moved = false;
+    double heading = 0.0;
+    std::vector<double> recent_headings;
+    bool has_region = false;
+    SafeRegion region;
+  };
+
+  /// Captures the current state, bit-exactly restorable via ImportState.
+  State ExportState() const;
+
+  /// Restores a captured state into a freshly constructed client (same
+  /// trajectory, same options).
+  void ImportState(const State& state);
+
+  /// Deterministic resident-byte estimate: a pure function of the logical
+  /// state (never of container capacities), so the engine's memory
+  /// accounting is identical across runs and machines.
+  size_t StateBytesEstimate() const;
 
  private:
   const Trajectory* trajectory_;

@@ -1,6 +1,7 @@
 // Server-side safe-region computation dispatch (Fig. 3, step 3).
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "index/gnn.h"
@@ -60,6 +61,29 @@ class MpnServer {
 
   /// Aggregated per-call statistics.
   const MsrStats& stats() const { return stats_; }
+
+  /// Plain-data snapshot of the accumulated counters (the scratch arena is
+  /// transient and rebuilt on demand, so it is not part of the state). Wire
+  /// encoding lives in engine/session_codec.h.
+  struct State {
+    double compute_seconds = 0.0;
+    uint64_t recompute_count = 0;
+    MsrStats stats;
+  };
+
+  State ExportState() const {
+    State state;
+    state.compute_seconds = compute_seconds_;
+    state.recompute_count = recompute_count_;
+    state.stats = stats_;
+    return state;
+  }
+
+  void ImportState(const State& state) {
+    compute_seconds_ = state.compute_seconds;
+    recompute_count_ = static_cast<size_t>(state.recompute_count);
+    stats_ = state.stats;
+  }
 
  private:
   const std::vector<Point>* pois_;

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstring>
+#include <limits>
 
 #include "mpn/compress.h"
 #include "mpn/tile_msr.h"
@@ -139,6 +141,84 @@ TEST(CompressTest, LargeSparseWindowStillCorrect) {
   EXPECT_EQ(enc.levels[0].bits.Count(), 2u);
   const TileRegion dec = DecodeTileRegion(enc);
   EXPECT_EQ(dec.size(), 2u);
+}
+
+TEST(CompressTest, AnchorBitPatternsSurviveCodec) {
+  // The engine's spill codec (engine/session_codec.h) ships the encoded
+  // anchor verbatim; decode must reproduce it bit-for-bit — including a
+  // signed zero and a denormal — or a spilled client's region would drift
+  // from the server's grid.
+  uint64_t neg_zero_bits = 0, origin_y_bits = 0, delta_bits = 0;
+  const double neg_zero = -0.0;
+  const double denorm = std::numeric_limits<double>::denorm_min();
+  TileRegion region = TileRegion::FromOrigin({neg_zero, denorm}, 0.7);
+  region.Add(GridTile{0, 0, 0});
+  region.Add(GridTile{2, -3, 9});
+  const TileRegion dec = DecodeTileRegion(EncodeTileRegion(region));
+  std::memcpy(&neg_zero_bits, &neg_zero, sizeof(double));
+  double got = dec.origin().x;
+  uint64_t got_bits = 0;
+  std::memcpy(&got_bits, &got, sizeof(double));
+  EXPECT_EQ(got_bits, neg_zero_bits);  // sign bit kept, not canonicalized
+  got = dec.origin().y;
+  std::memcpy(&origin_y_bits, &denorm, sizeof(double));
+  std::memcpy(&got_bits, &got, sizeof(double));
+  EXPECT_EQ(got_bits, origin_y_bits);
+  const double delta = region.delta();
+  got = dec.delta();
+  std::memcpy(&delta_bits, &delta, sizeof(double));
+  std::memcpy(&got_bits, &got, sizeof(double));
+  EXPECT_EQ(got_bits, delta_bits);
+}
+
+TEST(CompressTest, EncodeIsIdempotentOnDecodedRegions) {
+  // Encode(Decode(enc)) must equal enc: the bitmap form is canonical, so a
+  // spill/rehydrate cycle re-encodes to the identical byte stream (the
+  // session store relies on this for stable spilled_bytes accounting).
+  Rng rng(808);
+  for (int trial = 0; trial < 40; ++trial) {
+    TileRegion region({rng.Uniform(-50, 50), rng.Uniform(-50, 50)},
+                      rng.Uniform(0.25, 8));
+    const int n = static_cast<int>(rng.UniformInt(0, 30));
+    for (int i = 0; i < n; ++i) {
+      const int level = static_cast<int>(rng.UniformInt(0, 4));
+      region.Add(GridTile{level,
+                          static_cast<int32_t>(rng.UniformInt(-40, 40)),
+                          static_cast<int32_t>(rng.UniformInt(-40, 40))});
+    }
+    const auto enc1 = EncodeTileRegion(region);
+    const auto enc2 = EncodeTileRegion(DecodeTileRegion(enc1));
+    ASSERT_EQ(enc1.levels.size(), enc2.levels.size()) << "trial " << trial;
+    EXPECT_EQ(enc1.ValueCount(), enc2.ValueCount()) << "trial " << trial;
+    for (size_t l = 0; l < enc1.levels.size(); ++l) {
+      const EncodedLevel& a = enc1.levels[l];
+      const EncodedLevel& b = enc2.levels[l];
+      EXPECT_EQ(a.level, b.level);
+      EXPECT_EQ(a.ix0, b.ix0);
+      EXPECT_EQ(a.iy0, b.iy0);
+      EXPECT_EQ(a.width, b.width);
+      EXPECT_EQ(a.height, b.height);
+      EXPECT_TRUE(a.bits == b.bits) << "trial " << trial << " level " << l;
+    }
+  }
+}
+
+TEST(CompressTest, DeepLevelExtremeIndicesRoundTrip) {
+  // Degenerate-but-legal shapes: a single tile at a deep refinement level
+  // with large negative indices, plus a far-flung partner forcing a wide
+  // window at another level.
+  TileRegion region({1e-12, -1e12}, 1024.0);
+  region.Add(GridTile{12, -100000, 99999});
+  region.Add(GridTile{12, -100001, 99998});
+  region.Add(GridTile{0, 7, -7});
+  const TileRegion dec = DecodeTileRegion(EncodeTileRegion(region));
+  ASSERT_EQ(dec.size(), 3u);
+  for (const GridTile& t : region.tiles()) {
+    bool found = false;
+    for (const GridTile& u : dec.tiles()) found |= (t == u);
+    EXPECT_TRUE(found) << "tile (" << t.level << "," << t.ix << "," << t.iy
+                       << ") lost";
+  }
 }
 
 // --- DynamicBitset ----------------------------------------------------------

@@ -1,0 +1,523 @@
+// Memory-budgeted session store: snapshot codec round trips at the engine
+// boundary, malformed-input rejection, and — the load-bearing property —
+// digest bit-identity between budgeted and unbudgeted runs for any cap,
+// with the spill/rehydrate counters proving the out-of-core path actually
+// ran. The codec tests pin IEEE-754 edge cases (-0.0, denormals, NaN bit
+// patterns) because the digest folds raw double bits: a codec that
+// canonicalizes them would pass value-equality tests and still break
+// digest neutrality.
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/memory_budget.h"
+#include "engine/session_codec.h"
+#include "engine_fuzz_util.h"
+
+namespace mpn {
+namespace {
+
+// --- helpers ---------------------------------------------------------------
+
+uint64_t Bits(double d) {
+  uint64_t u = 0;
+  std::memcpy(&u, &d, sizeof(u));
+  return u;
+}
+
+#define EXPECT_SAME_BITS(a, b) EXPECT_EQ(Bits(a), Bits(b))
+
+// A denormal (subnormal) double: smallest positive representable value.
+const double kDenormal = std::numeric_limits<double>::denorm_min();
+// A quiet NaN with a recognizable payload; must survive the wire verbatim.
+double PayloadNan() {
+  const uint64_t u = 0x7ff8dead'beef0001ull;
+  double d = 0.0;
+  std::memcpy(&d, &u, sizeof(d));
+  return d;
+}
+
+SimMetrics MakeOddMetrics() {
+  SimMetrics m;
+  m.timestamps = 41;
+  m.updates = 17;
+  m.result_changes = 5;
+  m.server_seconds = -0.0;  // sign bit must survive
+  m.comm.AddRaw(MessageType::kLocationUpdate, 3, 4, 5);
+  m.comm.AddRaw(MessageType::kProbe, 6, 7, 8);
+  m.comm.AddRaw(MessageType::kProbeReply, 9, 10, 11);
+  m.comm.AddRaw(MessageType::kResult, 12, 13, 14);
+  m.msr.tiles_tried = 100;
+  m.msr.tiles_added = 90;
+  m.msr.divide_calls = 80;
+  m.msr.verify.calls = 70;
+  m.msr.verify.accepted = 60;
+  m.msr.verify.tile_groups = 50;
+  m.msr.verify.focal_evals = 40;
+  m.msr.verify.memo_hits = 30;
+  m.msr.candidates.retrievals = 20;
+  m.msr.candidates.candidates_total = 10;
+  m.msr.candidates.rejected_by_buffer = 1;
+  m.msr.rtree_node_accesses = 12345;
+  return m;
+}
+
+// `compare_timings` bit-compares server_seconds too — right for codec
+// round trips (same in-process value), wrong across independent runs
+// (it accumulates wall-clock time).
+void ExpectMetricsEqual(const SimMetrics& a, const SimMetrics& b,
+                        bool compare_timings = true) {
+  EXPECT_EQ(a.timestamps, b.timestamps);
+  EXPECT_EQ(a.updates, b.updates);
+  EXPECT_EQ(a.result_changes, b.result_changes);
+  if (compare_timings) {
+    EXPECT_SAME_BITS(a.server_seconds, b.server_seconds);
+  }
+  for (size_t t = 0; t < kMessageTypeCount; ++t) {
+    const MessageType mt = static_cast<MessageType>(t);
+    EXPECT_EQ(a.comm.messages(mt), b.comm.messages(mt));
+    EXPECT_EQ(a.comm.packets(mt), b.comm.packets(mt));
+    EXPECT_EQ(a.comm.values(mt), b.comm.values(mt));
+  }
+  EXPECT_EQ(a.msr.tiles_tried, b.msr.tiles_tried);
+  EXPECT_EQ(a.msr.tiles_added, b.msr.tiles_added);
+  EXPECT_EQ(a.msr.divide_calls, b.msr.divide_calls);
+  EXPECT_EQ(a.msr.verify.calls, b.msr.verify.calls);
+  EXPECT_EQ(a.msr.verify.accepted, b.msr.verify.accepted);
+  EXPECT_EQ(a.msr.verify.tile_groups, b.msr.verify.tile_groups);
+  EXPECT_EQ(a.msr.verify.focal_evals, b.msr.verify.focal_evals);
+  EXPECT_EQ(a.msr.verify.memo_hits, b.msr.verify.memo_hits);
+  EXPECT_EQ(a.msr.candidates.retrievals, b.msr.candidates.retrievals);
+  EXPECT_EQ(a.msr.candidates.candidates_total,
+            b.msr.candidates.candidates_total);
+  EXPECT_EQ(a.msr.candidates.rejected_by_buffer,
+            b.msr.candidates.rejected_by_buffer);
+  EXPECT_EQ(a.msr.rtree_node_accesses, b.msr.rtree_node_accesses);
+}
+
+// --- MPN_MEMORY_BUDGET spec parsing ----------------------------------------
+
+TEST(MemoryBudgetTest, ParseSpec) {
+  EXPECT_EQ(ParseMemoryBudgetBytes(nullptr), 0u);
+  EXPECT_EQ(ParseMemoryBudgetBytes(""), 0u);
+  EXPECT_EQ(ParseMemoryBudgetBytes("12345"), 12345u);
+  EXPECT_EQ(ParseMemoryBudgetBytes("64k"), 64u * 1024);
+  EXPECT_EQ(ParseMemoryBudgetBytes("64K"), 64u * 1024);
+  EXPECT_EQ(ParseMemoryBudgetBytes("2m"), 2u * 1024 * 1024);
+  EXPECT_EQ(ParseMemoryBudgetBytes("2M"), 2u * 1024 * 1024);
+  EXPECT_EQ(ParseMemoryBudgetBytes("1g"), 1024u * 1024 * 1024);
+  EXPECT_EQ(ParseMemoryBudgetBytes("1G"), 1024u * 1024 * 1024);
+  EXPECT_EQ(ParseMemoryBudgetBytes("0"), 0u);
+  // Garbage and trailing junk mean "no budget", never a partial parse.
+  EXPECT_EQ(ParseMemoryBudgetBytes("k64"), 0u);
+  EXPECT_EQ(ParseMemoryBudgetBytes("64kb"), 0u);
+  EXPECT_EQ(ParseMemoryBudgetBytes("lots"), 0u);
+}
+
+// --- codec round trips at the engine boundary ------------------------------
+
+TEST(SessionCodecTest, MetricsRoundTripIsBitExact) {
+  const SimMetrics m = MakeOddMetrics();
+  WireBuffer out;
+  WriteMetrics(&out, m);
+  WireReader r(out.data());
+  const SimMetrics back = ReadMetrics(&r);
+  EXPECT_TRUE(r.AtEnd());
+  ExpectMetricsEqual(m, back);
+}
+
+TEST(SessionCodecTest, CircleRegionRoundTripKeepsIeeeBitPatterns) {
+  const SafeRegion region =
+      SafeRegion::MakeCircle(Circle{{-0.0, kDenormal}, PayloadNan()});
+  WireBuffer out;
+  WriteSafeRegion(&out, region);
+  WireReader r(out.data());
+  const SafeRegion back = ReadSafeRegion(&r);
+  EXPECT_TRUE(r.AtEnd());
+  ASSERT_TRUE(back.is_circle());
+  EXPECT_SAME_BITS(region.circle().center.x, back.circle().center.x);
+  EXPECT_SAME_BITS(region.circle().center.y, back.circle().center.y);
+  EXPECT_SAME_BITS(region.circle().radius, back.circle().radius);
+}
+
+TEST(SessionCodecTest, TileRegionRoundTripIsExact) {
+  // Anchor with sign-bit/denormal coordinates; tiles spread across levels
+  // and quadrants (negative indices included) so the per-level windows are
+  // non-trivial.
+  TileRegion tiles = TileRegion::FromOrigin({-0.0, kDenormal}, 128.0);
+  tiles.Add(GridTile{0, 0, 0});
+  tiles.Add(GridTile{1, -1, 2});
+  tiles.Add(GridTile{1, 3, -2});
+  tiles.Add(GridTile{3, -5, 7});
+  const SafeRegion region = SafeRegion::MakeTiles(std::move(tiles));
+  WireBuffer out;
+  WriteSafeRegion(&out, region);
+  WireReader r(out.data());
+  const SafeRegion back = ReadSafeRegion(&r);
+  EXPECT_TRUE(r.AtEnd());
+  ASSERT_FALSE(back.is_circle());
+  EXPECT_SAME_BITS(region.tiles().origin().x, back.tiles().origin().x);
+  EXPECT_SAME_BITS(region.tiles().origin().y, back.tiles().origin().y);
+  EXPECT_SAME_BITS(region.tiles().delta(), back.tiles().delta());
+  ASSERT_EQ(region.tiles().size(), back.tiles().size());
+  for (size_t i = 0; i < region.tiles().size(); ++i) {
+    // The bitmap codec may reorder tiles canonically; membership must be
+    // exact either way.
+    const GridTile& t = region.tiles().tiles()[i];
+    bool found = false;
+    for (const GridTile& u : back.tiles().tiles()) found |= (t == u);
+    EXPECT_TRUE(found) << "tile " << i << " lost in round trip";
+  }
+}
+
+TEST(SessionCodecTest, EmptyTileRegionRoundTrips) {
+  const SafeRegion region =
+      SafeRegion::MakeTiles(TileRegion::FromOrigin({3.5, -7.25}, 64.0));
+  WireBuffer out;
+  WriteSafeRegion(&out, region);
+  WireReader r(out.data());
+  const SafeRegion back = ReadSafeRegion(&r);
+  EXPECT_TRUE(r.AtEnd());
+  ASSERT_FALSE(back.is_circle());
+  EXPECT_TRUE(back.tiles().empty());
+  EXPECT_SAME_BITS(region.tiles().delta(), back.tiles().delta());
+}
+
+TEST(SessionCodecTest, FinalSnapshotRoundTripIsExact) {
+  SessionFinalResult fr;
+  fr.metrics = MakeOddMetrics();
+  fr.has_result = true;
+  fr.po = 0xDEADBEEF;
+  fr.mailbox_peak = 7;
+  fr.stall_count = 3;
+  fr.dropped_count = 2;
+  fr.advance_seconds = {0.0, -0.0, kDenormal, PayloadNan(), 1.5e-300};
+  WireBuffer out;
+  EncodeFinalSession(fr, &out);
+  WireReader r(out.data());
+  ASSERT_EQ(ReadSnapshotHeader(&r), SnapshotKind::kFinal);
+  const SessionFinalResult back = DecodeFinalSession(&r);
+  EXPECT_TRUE(r.AtEnd());
+  ExpectMetricsEqual(fr.metrics, back.metrics);
+  EXPECT_EQ(back.has_result, true);
+  EXPECT_EQ(back.po, 0xDEADBEEFu);
+  EXPECT_EQ(back.mailbox_peak, 7u);
+  EXPECT_EQ(back.stall_count, 3u);
+  EXPECT_EQ(back.dropped_count, 2u);
+  ASSERT_EQ(back.advance_seconds.size(), fr.advance_seconds.size());
+  for (size_t i = 0; i < fr.advance_seconds.size(); ++i) {
+    EXPECT_SAME_BITS(fr.advance_seconds[i], back.advance_seconds[i]);
+  }
+}
+
+TEST(SessionCodecTest, LiveSnapshotRoundTripIsExact) {
+  GroupSession::State s;
+  s.next_t = 3;
+  s.retire_at = 17;
+  s.has_result = true;
+  s.current_po = 42;
+  s.mailbox_peak = 2;
+  s.stall_count = 1;
+  s.dropped_count = 0;
+  s.metrics = MakeOddMetrics();
+  s.server.compute_seconds = kDenormal;
+  s.server.recompute_count = 9;
+  s.server.stats.tiles_tried = 11;
+  MpnClient::State c0;
+  c0.location = {-0.0, 1e-310};
+  c0.moved = true;
+  c0.heading = PayloadNan();
+  c0.recent_headings = {0.25, -0.0, kDenormal};
+  c0.has_region = true;
+  c0.region = SafeRegion::MakeCircle(Circle{{1.0, 2.0}, 3.0});
+  MpnClient::State c1;  // no region yet — has_region gate must hold
+  c1.location = {5.0, 6.0};
+  s.clients = {c0, c1};
+  s.messages_at = {4, 0, 2};
+  s.violated_at = {1, 0, 1};
+  s.advance_at = {0.5, -0.0, kDenormal};
+  s.seconds_at = {1e-3, 2e-3, 3e-3};
+
+  WireBuffer out;
+  EncodeLiveSession(s, &out);
+  WireReader r(out.data());
+  ASSERT_EQ(ReadSnapshotHeader(&r), SnapshotKind::kLive);
+  const GroupSession::State back = DecodeLiveSession(&r);
+  EXPECT_TRUE(r.AtEnd());
+
+  EXPECT_EQ(back.next_t, 3u);
+  EXPECT_EQ(back.retire_at, 17u);
+  EXPECT_EQ(back.has_result, true);
+  EXPECT_EQ(back.current_po, 42u);
+  EXPECT_EQ(back.mailbox_peak, 2u);
+  EXPECT_EQ(back.stall_count, 1u);
+  EXPECT_EQ(back.dropped_count, 0u);
+  ExpectMetricsEqual(s.metrics, back.metrics);
+  EXPECT_SAME_BITS(s.server.compute_seconds, back.server.compute_seconds);
+  EXPECT_EQ(back.server.recompute_count, 9u);
+  EXPECT_EQ(back.server.stats.tiles_tried, 11u);
+  ASSERT_EQ(back.clients.size(), 2u);
+  EXPECT_SAME_BITS(c0.location.x, back.clients[0].location.x);
+  EXPECT_SAME_BITS(c0.location.y, back.clients[0].location.y);
+  EXPECT_EQ(back.clients[0].moved, true);
+  EXPECT_SAME_BITS(c0.heading, back.clients[0].heading);
+  ASSERT_EQ(back.clients[0].recent_headings.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_SAME_BITS(c0.recent_headings[i], back.clients[0].recent_headings[i]);
+  }
+  ASSERT_TRUE(back.clients[0].has_region);
+  ASSERT_TRUE(back.clients[0].region.is_circle());
+  EXPECT_SAME_BITS(c0.region.circle().radius,
+                   back.clients[0].region.circle().radius);
+  EXPECT_FALSE(back.clients[1].has_region);
+  EXPECT_EQ(back.messages_at, s.messages_at);
+  EXPECT_EQ(back.violated_at, s.violated_at);
+  ASSERT_EQ(back.advance_at.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_SAME_BITS(s.advance_at[i], back.advance_at[i]);
+    EXPECT_SAME_BITS(s.seconds_at[i], back.seconds_at[i]);
+  }
+}
+
+// --- malformed input rejection ---------------------------------------------
+
+TEST(SessionCodecTest, RejectsUnsupportedVersionAndKind) {
+  {
+    WireBuffer out;
+    out.PutU8(kSessionSnapshotVersion + 1);
+    out.PutU8(0);
+    WireReader r(out.data());
+    EXPECT_THROW(ReadSnapshotHeader(&r), FrameError);
+  }
+  {
+    WireBuffer out;
+    out.PutU8(kSessionSnapshotVersion);
+    out.PutU8(99);  // not a SnapshotKind
+    WireReader r(out.data());
+    EXPECT_THROW(ReadSnapshotHeader(&r), FrameError);
+  }
+}
+
+TEST(SessionCodecTest, RejectsTruncatedSnapshots) {
+  SessionFinalResult fr;
+  fr.metrics = MakeOddMetrics();
+  fr.has_result = true;
+  fr.po = 1;
+  fr.advance_seconds = {1.0, 2.0, 3.0};
+  WireBuffer out;
+  EncodeFinalSession(fr, &out);
+  const std::vector<uint8_t>& full = out.data();
+  ASSERT_GT(full.size(), 8u);
+  // Every proper prefix must throw, never read out of bounds or return a
+  // half-decoded result. (ASan leg makes the OOB half observable.)
+  for (size_t len : {size_t{0}, size_t{1}, size_t{2}, full.size() / 2,
+                     full.size() - 1}) {
+    const std::vector<uint8_t> cut(full.begin(), full.begin() + len);
+    WireReader r(cut);
+    EXPECT_THROW(
+        {
+          if (ReadSnapshotHeader(&r) == SnapshotKind::kFinal) {
+            DecodeFinalSession(&r);
+          } else {
+            DecodeLiveSession(&r);
+          }
+        },
+        FrameError)
+        << "prefix length " << len;
+  }
+}
+
+TEST(SessionCodecTest, RejectsTraceLengthMismatch) {
+  // The per-timestamp traces must carry exactly next_t entries; a snapshot
+  // claiming otherwise is corrupt, not silently resizable.
+  GroupSession::State s;
+  s.next_t = 5;
+  s.messages_at = {1, 2};  // 2 != 5
+  s.violated_at = {0, 1};
+  s.advance_at = {0.0, 0.0};
+  s.seconds_at = {0.0, 0.0};
+  WireBuffer out;
+  EncodeLiveSession(s, &out);
+  WireReader r(out.data());
+  ASSERT_EQ(ReadSnapshotHeader(&r), SnapshotKind::kLive);
+  EXPECT_THROW(DecodeLiveSession(&r), FrameError);
+}
+
+// --- budgeted engine: digest neutrality + spill accounting ------------------
+
+struct BudgetRun {
+  uint64_t digest = 0;
+  MemoryStats mem;
+};
+
+BudgetRun RunWithBudget(const fuzz::World& w, const fuzz::FuzzPlan& plan,
+                        size_t threads, size_t bytes_cap) {
+  EngineOptions opt = fuzz::MakeEngineOptions(threads);
+  opt.budget.bytes_cap = bytes_cap;
+  Engine engine(&w.pois, w.Index(IndexKind::kDynamic), opt);
+  BudgetRun run;
+  run.digest = fuzz::Replay(&engine, w, plan);
+  run.mem = engine.memory_stats();
+  return run;
+}
+
+TEST(SessionStoreTest, BudgetIsDigestNeutralAcrossCapsAndThreads) {
+  Rng rng(0x5E55'10CAull);
+  const fuzz::World w = fuzz::MakeFuzzWorld(&rng, /*n_groups=*/10,
+                                            /*group_size=*/3,
+                                            /*timestamps=*/24);
+  const fuzz::FuzzPlan plan = fuzz::MakeFuzzPlan(&rng, 10, /*horizon=*/24);
+
+  const BudgetRun base = RunWithBudget(w, plan, /*threads=*/1, /*cap=*/0);
+  // No budget: nothing may spill, but finalized compaction still accounts.
+  EXPECT_EQ(base.mem.spilled_sessions, 0u);
+  EXPECT_EQ(base.mem.rehydrated_sessions, 0u);
+  EXPECT_EQ(base.mem.spilled_bytes, 0u);
+  EXPECT_GT(base.mem.peak_resident_bytes, 0u);
+  EXPECT_GE(base.mem.peak_resident_bytes, base.mem.resident_bytes);
+
+  for (const size_t cap : {size_t{1}, size_t{4} * 1024, size_t{1} << 20}) {
+    for (const size_t threads : {size_t{1}, size_t{2}}) {
+      const BudgetRun run = RunWithBudget(w, plan, threads, cap);
+      EXPECT_EQ(run.digest, base.digest)
+          << "cap=" << cap << " threads=" << threads;
+      if (cap == 1) {
+        // A 1-byte cap forces every admitted session out and back at least
+        // once; the live round trip is what the digest identity certifies.
+        EXPECT_GT(run.mem.spilled_sessions, 0u)
+            << "cap=" << cap << " threads=" << threads;
+        EXPECT_GT(run.mem.rehydrated_sessions, 0u)
+            << "cap=" << cap << " threads=" << threads;
+        EXPECT_GT(run.mem.spilled_bytes, 0u);
+      }
+      EXPECT_GE(run.mem.peak_resident_bytes, run.mem.resident_bytes);
+    }
+  }
+}
+
+TEST(SessionStoreTest, CountersAreDeterministicSingleThreaded) {
+  Rng rng(0xC0FFEEull);
+  const fuzz::World w = fuzz::MakeFuzzWorld(&rng, 8, 3, 20);
+  const fuzz::FuzzPlan plan = fuzz::MakeFuzzPlan(&rng, 8, 20);
+  const BudgetRun a = RunWithBudget(w, plan, 1, 2048);
+  const BudgetRun b = RunWithBudget(w, plan, 1, 2048);
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.mem.spilled_sessions, b.mem.spilled_sessions);
+  EXPECT_EQ(a.mem.rehydrated_sessions, b.mem.rehydrated_sessions);
+  EXPECT_EQ(a.mem.spilled_bytes, b.mem.spilled_bytes);
+  EXPECT_EQ(a.mem.resident_bytes, b.mem.resident_bytes);
+  EXPECT_EQ(a.mem.peak_resident_bytes, b.mem.peak_resident_bytes);
+}
+
+TEST(SessionStoreTest, RetireWhileSpilledMatchesResidentRetire) {
+  // Pre-start retires land while the session sits spilled under a 1-byte
+  // cap (AdmitSession rebalances immediately); the pending request must be
+  // applied on rehydration exactly as if the session had stayed resident.
+  Rng rng(0x7E71'12Eull);
+  const fuzz::World w = fuzz::MakeFuzzWorld(&rng, 6, 3, 20);
+  fuzz::FuzzPlan plan = fuzz::MakeFuzzPlan(&rng, 6, 20);
+  plan.waves = 1;
+  plan.drain_before.assign(1, 0);
+  for (size_t i = 0; i < plan.sessions.size(); ++i) {
+    fuzz::PlannedSession& s = plan.sessions[i];
+    s.wave = 0;
+    s.prestart_retire = (i % 2 == 0);
+    s.prestart_retire_at = i;  // includes retire-at-0 and mid-run points
+  }
+  const BudgetRun base = RunWithBudget(w, plan, 1, 0);
+  const BudgetRun spill = RunWithBudget(w, plan, 1, 1);
+  EXPECT_EQ(spill.digest, base.digest);
+  EXPECT_GT(spill.mem.spilled_sessions, 0u);
+}
+
+TEST(SessionStoreTest, PerSessionAccessorsMatchUnbudgetedRun) {
+  // By-value accessors stream through the store; by-reference ones
+  // rehydrate-and-pin. Both must serve the same values a budget-free run
+  // serves, including for sessions that were spilled when asked.
+  Rng rng(0xACCE5501ull);
+  const fuzz::World w = fuzz::MakeFuzzWorld(&rng, 6, 3, 16);
+  fuzz::FuzzPlan plan = fuzz::MakeFuzzPlan(&rng, 6, 16);
+  plan.waves = 1;
+  plan.drain_before.assign(1, 0);
+  for (fuzz::PlannedSession& s : plan.sessions) s.wave = 0;
+
+  EngineOptions base_opt = fuzz::MakeEngineOptions(1);
+  Engine base(&w.pois, w.Index(IndexKind::kDynamic), base_opt);
+  fuzz::Replay(&base, w, plan);
+
+  EngineOptions opt = fuzz::MakeEngineOptions(1);
+  opt.budget.bytes_cap = 1;
+  Engine budgeted(&w.pois, w.Index(IndexKind::kDynamic), opt);
+  fuzz::Replay(&budgeted, w, plan);
+
+  for (uint32_t id = 0; id < plan.sessions.size(); ++id) {
+    EXPECT_EQ(budgeted.session_po(id), base.session_po(id));
+    EXPECT_EQ(budgeted.session_has_result(id), base.session_has_result(id));
+    EXPECT_EQ(budgeted.session_mailbox_peak(id), base.session_mailbox_peak(id));
+    EXPECT_EQ(budgeted.session_stall_count(id), base.session_stall_count(id));
+    EXPECT_EQ(budgeted.session_dropped_count(id),
+              base.session_dropped_count(id));
+    // By-reference accessors (rehydrate + pin). The advance trace holds
+    // wall-clock timings — only its shape is comparable across runs, but
+    // serving it at all proves the pinned rehydration path works.
+    ExpectMetricsEqual(budgeted.session_metrics(id), base.session_metrics(id),
+                       /*compare_timings=*/false);
+    const std::vector<double>& badv = budgeted.session_advance_seconds(id);
+    const std::vector<double>& radv = base.session_advance_seconds(id);
+    ASSERT_EQ(badv.size(), radv.size());
+  }
+}
+
+TEST(SessionStoreTest, EnvVarArmsTheBudget) {
+  Rng rng(0xE17Aull);
+  const fuzz::World w = fuzz::MakeFuzzWorld(&rng, 4, 3, 12);
+  const fuzz::FuzzPlan plan = fuzz::MakeFuzzPlan(&rng, 4, 12);
+  const BudgetRun base = RunWithBudget(w, plan, 1, 0);
+
+  ASSERT_EQ(setenv("MPN_MEMORY_BUDGET", "1", /*overwrite=*/1), 0);
+  const BudgetRun env_run = RunWithBudget(w, plan, 1, /*cap=*/0);
+  ASSERT_EQ(unsetenv("MPN_MEMORY_BUDGET"), 0);
+
+  EXPECT_EQ(env_run.digest, base.digest);
+  EXPECT_GT(env_run.mem.spilled_sessions, 0u);
+  EXPECT_GT(env_run.mem.rehydrated_sessions, 0u);
+
+  // An explicit cap wins over the environment.
+  ASSERT_EQ(setenv("MPN_MEMORY_BUDGET", "1", 1), 0);
+  const BudgetRun explicit_run = RunWithBudget(w, plan, 1, size_t{1} << 30);
+  ASSERT_EQ(unsetenv("MPN_MEMORY_BUDGET"), 0);
+  EXPECT_EQ(explicit_run.digest, base.digest);
+  EXPECT_EQ(explicit_run.mem.spilled_sessions, 0u);
+}
+
+TEST(SessionStoreTest, ClusterShardsSpillUnderPerShardBudget) {
+  Rng rng(0xC1C5'7E44ull);
+  const fuzz::World w = fuzz::MakeFuzzWorld(&rng, 8, 3, 16);
+  fuzz::FuzzPlan plan = fuzz::MakeFuzzPlan(&rng, 8, 16);
+  plan.crashes.clear();  // isolate the budget; recovery has its own suite
+  plan.faults.clear();
+
+  const BudgetRun base = RunWithBudget(w, plan, 1, 0);
+
+  ClusterOptions opt;
+  opt.workers = 2;
+  opt.engine = fuzz::MakeEngineOptions(1);
+  opt.engine.budget.bytes_cap = 1;  // per-shard cap
+  ClusterEngine cluster(&w.pois, w.Index(IndexKind::kDynamic), opt);
+  const uint64_t digest = fuzz::Replay(&cluster, w, plan);
+  EXPECT_EQ(digest, base.digest);
+
+  const MemoryStats mem = cluster.memory_stats();
+  EXPECT_GT(mem.spilled_sessions, 0u);
+  EXPECT_GT(mem.rehydrated_sessions, 0u);
+  EXPECT_GT(mem.spilled_bytes, 0u);
+  EXPECT_GT(mem.peak_resident_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace mpn
